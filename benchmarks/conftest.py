@@ -1,0 +1,41 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper exhibit via ``repro.experiments`` and
+asserts its qualitative shape. Tables are printed and also written to
+``benchmarks/results/<exhibit>.txt`` so a ``--benchmark-only`` run leaves
+the regenerated figures on disk.
+
+Scale defaults to ``quick`` here (set ``REPRO_SCALE`` to override): the
+benchmark suite is a regeneration harness, and quick scale preserves every
+qualitative shape while keeping the full suite to a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "quick")
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_exhibit():
+    """Write an ExperimentResult's table to benchmarks/results/ and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(result, float_fmt: str = "{:.3f}") -> None:
+        text = result.to_table(float_fmt=float_fmt)
+        (RESULTS_DIR / f"{result.exhibit}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

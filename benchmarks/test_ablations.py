@@ -1,0 +1,28 @@
+"""Benchmark: ablations of Boomerang's design choices (Section IV-C)."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, record_exhibit):
+    result = run_once(benchmark, ablations.run)
+    record_exhibit(result)
+
+    def series(knob):
+        return {
+            row[1]: float(row[2]) for row in result.rows if row[0] == knob
+        }
+
+    buffers = series("btb_prefetch_buffer")
+    ftq = series("ftq_depth")
+    predecode = series("predecode_latency")
+
+    # A 32-entry BTB prefetch buffer is solidly better than a 1-entry one.
+    assert buffers[32] > buffers[1] - 0.01
+
+    # Deep FTQs beat shallow ones (run-ahead is the whole point).
+    assert ftq[32] > ftq[8] - 0.005
+
+    # Cheaper predecode never hurts.
+    assert predecode[1] >= predecode[6] - 0.01

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 1 (perfect L1-I / perfect BTB opportunity)."""
+
+from conftest import run_once
+
+from repro.experiments import opportunity
+
+
+def test_figure1_opportunity(benchmark, record_exhibit):
+    result = run_once(benchmark, opportunity.run)
+    record_exhibit(result)
+
+    workload_rows = result.rows[:-1]  # last row is the average
+    for row in workload_rows:
+        name, _, perfect_l1i, perfect_both, btb_adds = row
+        # Paper shape: perfect L1-I always helps; perfect BTB adds on top.
+        assert perfect_l1i > 1.0, name
+        assert perfect_both >= perfect_l1i - 1e-9, name
+
+    by_name = {row[0]: row for row in workload_rows}
+    # Streaming shows the smallest opportunity; the OLTP profiles carry an
+    # above-average BTB gain (at full scale DB2 is the outright maximum).
+    assert by_name["streaming"][2] == min(r[2] for r in workload_rows)
+    avg_btb_gain = sum(r[4] for r in workload_rows) / len(workload_rows)
+    assert by_name["db2"][4] > avg_btb_gain
+    assert by_name["streaming"][4] < avg_btb_gain

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 2 (FDIP coverage vs predictor and latency)."""
+
+from conftest import run_once
+
+from repro.experiments import coverage_vs_latency
+
+
+def test_figure2_coverage_vs_latency(benchmark, record_exhibit):
+    result = run_once(benchmark, coverage_vs_latency.run)
+    record_exhibit(result)
+
+    rows = {row[0]: [float(v) for v in row[1:]] for row in result.rows}
+    tage = rows["FDIP TAGE"]
+    bimodal = rows["FDIP 2-bit"]
+    never = rows["FDIP Never-Taken"]
+    pif = rows["PIF"]
+
+    # Paper shape: FDIP+TAGE is PIF-class coverage across latencies.
+    for t, p in zip(tage, pif):
+        assert t > p - 0.15
+    # TAGE >= 2-bit >= never-taken ordering holds on average...
+    assert sum(tage) >= sum(bimodal) - 0.05 * len(tage)
+    # ...and even never-taken attains much of TAGE's coverage (paper III-A).
+    assert sum(never) > 0.55 * sum(tage)

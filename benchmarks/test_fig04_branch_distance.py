@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 4 (taken-conditional jump distances)."""
+
+from conftest import run_once
+
+from repro.experiments import branch_distance
+
+
+def test_figure4_branch_distance(benchmark, record_exhibit):
+    result = run_once(benchmark, branch_distance.run)
+    record_exhibit(result)
+
+    within4_column = result.headers.index("<=4")
+    for row in result.rows:
+        # Paper: ~92% of taken conditionals jump at most 4 blocks.
+        assert float(row[within4_column]) > 0.85, row[0]
+        # CDF is monotone and ends near 1.
+        cdf = [float(v) for v in row[1:]]
+        assert all(a <= b + 1e-9 for a, b in zip(cdf, cdf[1:]))
+        assert cdf[-1] > 0.95

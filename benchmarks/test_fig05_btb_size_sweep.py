@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 5 (FDIP coverage vs BTB size and latency)."""
+
+from conftest import run_once
+
+from repro.experiments import btb_size_sweep
+
+
+def test_figure5_btb_size_sweep(benchmark, record_exhibit):
+    result = run_once(benchmark, btb_size_sweep.run)
+    record_exhibit(result)
+
+    rows = {row[0]: [float(v) for v in row[1:]] for row in result.rows}
+    largest = rows[max(rows, key=lambda k: int(k[:-1]))]
+    smallest = rows[min(rows, key=lambda k: int(k[:-1]))]
+
+    # Bigger BTBs cover at least as much, at every latency point.
+    for large_cov, small_cov in zip(largest, smallest):
+        assert large_cov >= small_cov - 0.03
+
+    # Paper: the 32K -> 2K drop is modest (~12%), not a collapse.
+    drops = [l - s for l, s in zip(largest, smallest)]
+    assert max(drops) < 0.35
+    # Coverage stays useful even with the small BTB at high latency.
+    assert smallest[-1] > 0.35

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 8 (front-end stall-cycle coverage)."""
+
+from conftest import run_once
+
+from repro.experiments import stall_coverage
+
+
+def test_figure8_stall_coverage(benchmark, record_exhibit):
+    result = run_once(benchmark, stall_coverage.run)
+    record_exhibit(result)
+
+    avg = result.row_for("avg")
+    by_mech = dict(zip(result.headers[1:], [float(v) for v in avg[1:]]))
+
+    # Everyone covers something; control-flow-aware schemes cover a lot.
+    for mech, cov in by_mech.items():
+        assert cov > 0.10, mech
+    assert by_mech["FDIP"] > by_mech["Next Line"]
+    assert by_mech["Boomerang"] > 0.45  # paper: 61% average
+
+    # SHIFT's LLC-resident metadata never beats its own PIF-style engine by
+    # much; Confluence's coverage tracks SHIFT (same prefetcher).
+    assert abs(by_mech["Confluence"] - by_mech["SHIFT"]) < 0.15

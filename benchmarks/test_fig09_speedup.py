@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 9 (speedup over no-prefetch baseline)."""
+
+from conftest import run_once
+
+from repro.experiments import speedup
+
+
+def test_figure9_speedup(benchmark, record_exhibit):
+    result = run_once(benchmark, speedup.run)
+    record_exhibit(result)
+
+    gmean = result.row_for("gmean")
+    by_mech = dict(zip(result.headers[1:], [float(v) for v in gmean[1:]]))
+
+    # Every scheme helps on average.
+    for mech, spd in by_mech.items():
+        assert spd > 1.0, mech
+
+    # Paper ordering: complete control-flow delivery beats L1-I-only.
+    assert by_mech["Boomerang"] > by_mech["FDIP"]
+    assert by_mech["Boomerang"] > by_mech["Next Line"]
+    assert by_mech["Confluence"] > by_mech["SHIFT"]
+
+    # Boomerang is Confluence-class (paper: within ~1%; we allow a band —
+    # see EXPERIMENTS.md on the OLTP deviation).
+    assert by_mech["Boomerang"] > by_mech["Confluence"] - 0.02
+
+    # Paper headline: Boomerang ~+27.5% over baseline. Allow a wide band;
+    # the shape (double-digit gain) is the reproduced claim.
+    assert 1.10 < by_mech["Boomerang"] < 1.80

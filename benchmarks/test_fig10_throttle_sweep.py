@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 10 (next-N-block prefetch under BTB miss)."""
+
+from conftest import run_once
+
+from repro.experiments import throttle_sweep
+
+
+def test_figure10_throttle_sweep(benchmark, record_exhibit):
+    result = run_once(benchmark, throttle_sweep.run)
+    record_exhibit(result)
+
+    gmean = result.row_for("gmean")
+    by_policy = dict(zip(result.headers[1:], [float(v) for v in gmean[1:]]))
+
+    # Paper: some sequential prefetching under a miss beats none on average.
+    # The paper's degradation beyond 2 blocks needs 16 cores contending for
+    # LLC/NoC bandwidth; our single-core model under-prices that waste, so
+    # we assert the monotone "throttled beats none" part plus diminishing
+    # returns, not an interior optimum (see EXPERIMENTS.md).
+    assert by_policy["2 Blocks"] >= by_policy["None"]
+    gain_0_to_2 = by_policy["2 Blocks"] - by_policy["None"]
+    gain_2_to_8 = by_policy["8 Blocks"] - by_policy["2 Blocks"]
+    assert gain_0_to_2 > gain_2_to_8  # diminishing returns past next-2
+
+    # DB2 benefits materially from throttled prefetch (paper: +12% for
+    # next-2 vs none; which workload gains *most* is scale-sensitive).
+    db2 = result.row_for("db2")
+    db2_gain = float(db2[3]) - float(db2[1])  # 2 Blocks vs None
+    assert db2_gain > 0.03

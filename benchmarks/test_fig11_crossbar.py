@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 11 (crossbar / low-latency LLC)."""
+
+from conftest import run_once
+
+from repro.experiments import crossbar, speedup
+
+
+def test_figure11_crossbar(benchmark, record_exhibit):
+    result = run_once(benchmark, crossbar.run)
+    record_exhibit(result)
+
+    gmean = result.row_for("gmean")
+    by_mech = dict(zip(result.headers[1:], [float(v) for v in gmean[1:]]))
+
+    # Ordering is preserved at the lower latency.
+    assert by_mech["Boomerang"] > by_mech["Next Line"]
+    assert by_mech["Boomerang"] >= by_mech["Confluence"] - 0.02
+    for mech, value in by_mech.items():
+        assert value > 1.0, mech
+
+    # Paper: absolute gains shrink vs the mesh (cheaper misses).
+    mesh = speedup.run()
+    mesh_gmean = dict(zip(mesh.headers[1:], [float(v) for v in mesh.row_for("gmean")[1:]]))
+    assert by_mech["Boomerang"] < mesh_gmean["Boomerang"] + 0.02

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate the Section VI-D storage comparison."""
+
+from conftest import run_once
+
+from repro.experiments import storage_costs
+
+
+def test_storage_costs(benchmark, record_exhibit):
+    result = run_once(benchmark, storage_costs.run)
+    record_exhibit(result)
+
+    boom = result.row_for("boomerang")
+    assert boom[4] == "540 B"  # the paper's exact number
+
+    pif = result.row_for("pif")
+    assert "KB" in str(pif[4])
+
+    conf = result.row_for("confluence")
+    assert "KB" in str(conf[4])
+
+
+def test_storage_scales_with_consolidation(benchmark, record_exhibit):
+    result = run_once(benchmark, lambda: storage_costs.run(n_workloads=4))
+    conf = result.row_for("confluence")
+    boom = result.row_for("boomerang")
+    # Boomerang is flat; Confluence's carve grows with each workload.
+    assert boom[4] == "540 B"
+    assert conf[2] != "0 B"

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Latency tolerance: FDIP coverage vs. LLC distance and predictor quality.
+
+A miniature of the paper's Figure 2 argument: branch-predictor-directed
+prefetching keeps covering front-end stalls as the LLC gets slower, and it
+barely needs an accurate predictor — conditional targets are so close
+(Figure 4) that even never-taken prediction finds most future blocks.
+
+Run time: ~60 s.
+"""
+
+from repro import Simulator, load_workload, make_config
+from repro.analysis import format_table
+
+LATENCIES = (1, 15, 30, 60)
+PREDICTORS = ("tage", "bimodal", "never_taken")
+WORKLOAD = "nutch"
+
+
+def main() -> None:
+    workload = load_workload(WORKLOAD, scale=0.5)
+    rows = []
+    for predictor in PREDICTORS:
+        row = [f"FDIP {predictor}"]
+        for latency in LATENCIES:
+            base_cfg = make_config("none").with_btb_entries(32768)
+            base = Simulator(workload, base_cfg.with_llc_latency(latency)).run()
+            cfg = make_config("fdip").with_btb_entries(32768)
+            cfg = cfg.with_llc_latency(latency).with_predictor(predictor)
+            res = Simulator(workload, cfg).run()
+            row.append(res.coverage_over(base))
+        rows.append(row)
+    print(format_table(
+        ["series"] + [f"llc={lat}" for lat in LATENCIES],
+        rows,
+        title=f"Stall-cycle coverage on {WORKLOAD} (32K-entry BTB)",
+    ))
+    print("\npaper: coverage stays high across the whole latency range, and")
+    print("the never-taken predictor retains most of TAGE's coverage.")
+
+
+if __name__ == "__main__":
+    main()

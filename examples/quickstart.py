@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate Boomerang vs. a no-prefetch baseline.
+
+Builds the Apache-like synthetic web-frontend workload, runs the baseline
+core and Boomerang on the identical instruction trace, and reports the
+paper's three headline metrics: speedup, squash reduction, and front-end
+stall-cycle coverage.
+
+Run time: ~10 s.
+"""
+
+from repro import Simulator, load_workload, make_config
+from repro.config import SimConfig
+
+
+def describe(config: SimConfig) -> None:
+    """Print the Table I parameters of the simulated core."""
+    core, mem = config.core, config.memory
+    print("Simulated core (paper Table I):")
+    print(f"  {core.fetch_width}-wide OoO, {core.rob_size}-entry ROB")
+    print(f"  L1-I: {mem.l1i.size_bytes // 1024} KB / {mem.l1i.assoc}-way, "
+          f"{mem.prefetch_buffer_entries}-entry prefetch buffer")
+    print(f"  BTB:  {config.btb.entries}-entry, basic-block oriented")
+    print(f"  LLC round trip: ~{mem.llc_round_trip} cycles "
+          f"({mem.noc.kind} NoC), memory +{mem.memory_latency} cycles")
+    print(f"  Predictor: {config.predictor.kind} (TAGE, 8 KB budget)")
+    print()
+
+
+def main() -> None:
+    # Scale 0.5 keeps this quick; drop scale for full-fidelity runs.
+    workload = load_workload("apache", scale=0.5)
+    summary = workload.trace.summary()
+    print(f"Workload: {workload.name} — {summary.n_instrs} instructions, "
+          f"{summary.footprint_kb:.0f} KB hot code, "
+          f"{summary.unique_basic_blocks} basic blocks\n")
+
+    baseline_cfg = make_config("none")
+    describe(baseline_cfg)
+
+    baseline = Simulator(workload, baseline_cfg).run()
+    boomerang = Simulator(workload, make_config("boomerang")).run()
+
+    print(f"{'metric':<32s} {'baseline':>10s} {'boomerang':>10s}")
+    print(f"{'IPC':<32s} {baseline.ipc:>10.3f} {boomerang.ipc:>10.3f}")
+    print(f"{'squashes / kilo-instr':<32s} "
+          f"{baseline.squashes_per_kilo:>10.2f} {boomerang.squashes_per_kilo:>10.2f}")
+    print(f"{'  of which BTB-miss':<32s} "
+          f"{baseline.btb_squashes_per_kilo:>10.2f} {boomerang.btb_squashes_per_kilo:>10.2f}")
+    print(f"{'front-end stall cycles':<32s} "
+          f"{baseline.stall_cycles:>10d} {boomerang.stall_cycles:>10d}")
+    print()
+    print(f"Boomerang speedup:            {boomerang.speedup_over(baseline):.3f}x")
+    print(f"Stall-cycle coverage:         {boomerang.coverage_over(baseline):.1%}")
+    print(f"BTB-miss squashes eliminated: "
+          f"{1 - boomerang.squashes_btb / max(1, baseline.squashes_btb):.1%}")
+
+
+if __name__ == "__main__":
+    main()

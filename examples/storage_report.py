@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Metadata storage report (paper Section VI-D).
+
+Purely analytic — no simulation. Shows each scheme's dedicated metadata,
+including how Confluence/SHIFT costs grow as more distinct workloads share
+the CMP (each needs its own LLC-resident history), while Boomerang stays
+at 540 bytes regardless.
+
+Run time: <1 s.
+"""
+
+from repro.analysis import format_table, human_bytes
+from repro.analysis.storage import storage_comparison
+from repro.config import SimConfig
+
+
+def main() -> None:
+    cfg = SimConfig()
+    for n_workloads in (1, 2, 4):
+        rows = []
+        for cost in storage_comparison(cfg, n_workloads=n_workloads):
+            rows.append(
+                [
+                    cost.mechanism,
+                    human_bytes(cost.per_core_bytes),
+                    human_bytes(cost.llc_carve_bytes),
+                    human_bytes(cost.total_bytes),
+                ]
+            )
+        print(format_table(
+            ["mechanism", "per_core", "llc_carve", "total"],
+            rows,
+            title=f"Dedicated metadata with {n_workloads} co-scheduled workload(s)",
+        ))
+        print()
+    boom = next(c for c in storage_comparison(cfg) if c.mechanism == "boomerang")
+    conf = next(c for c in storage_comparison(cfg, 4) if c.mechanism == "confluence")
+    print(f"Boomerang stays at {human_bytes(boom.total_bytes)}; at 4 workloads "
+          f"Confluence needs {human_bytes(conf.total_bytes)} "
+          f"({conf.total_bytes / boom.total_bytes:,.0f}x more).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Web-frontend shootout: every control-flow delivery scheme on Apache+Zeus.
+
+Reproduces the Figure 7/8/9 story on the two SPECweb99-style workloads:
+the L1-I-only prefetchers (Next-Line, DIP, FDIP, SHIFT) leave BTB-miss
+squashes untouched; the complete schemes (Confluence, Boomerang) eliminate
+them, and Boomerang does it with 540 bytes instead of hundreds of KB.
+
+Run time: ~40 s.
+"""
+
+from repro import MECHANISMS, Simulator, load_workload, make_config
+from repro.analysis import format_bar_chart, human_bytes
+from repro.analysis.storage import storage_comparison
+from repro.config import SimConfig
+
+WORKLOADS = ("apache", "zeus")
+SCALE = 0.5
+
+
+def main() -> None:
+    storage = {c.mechanism: c.total_bytes for c in storage_comparison(SimConfig())}
+    for name in WORKLOADS:
+        workload = load_workload(name, scale=SCALE)
+        base = Simulator(workload, make_config("none")).run()
+        print(f"=== {name} (baseline IPC {base.ipc:.3f}) ===")
+        labels, speedups = [], []
+        print(f"{'mechanism':>12s} {'speedup':>8s} {'sq/KI':>7s} {'btb/KI':>7s} "
+              f"{'coverage':>9s} {'metadata':>10s}")
+        for mech in MECHANISMS:
+            if mech == "none":
+                continue
+            res = Simulator(workload, make_config(mech)).run()
+            print(f"{mech:>12s} {res.speedup_over(base):>8.3f} "
+                  f"{res.squashes_per_kilo:>7.2f} {res.btb_squashes_per_kilo:>7.2f} "
+                  f"{res.coverage_over(base):>9.1%} "
+                  f"{human_bytes(storage.get(mech, 0)):>10s}")
+            labels.append(mech)
+            speedups.append(res.speedup_over(base))
+        print()
+        print(format_bar_chart(labels, speedups, title=f"{name}: speedup over baseline"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs fail; ``pip install -e . --no-build-isolation`` falls back to this
+shim (``setup.py develop``), which needs nothing beyond setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — reproduction of *Boomerang: A Metadata-Free Architecture for
+Control Flow Delivery* (Kumar, Huang, Grot, Nagarajan; HPCA 2017).
+
+Public surface:
+
+* :func:`load_workload`, :data:`ALL_PROFILES` — synthetic server workloads,
+* :func:`make_config`, :class:`SimConfig` — microarchitecture configuration,
+* :class:`Simulator`, :func:`run_mechanism` — run one simulation,
+* :data:`MECHANISMS` — all control-flow delivery schemes,
+* ``repro.experiments`` — regenerate every table/figure of the paper.
+"""
+
+from .config import (
+    BLOCK_BYTES,
+    INSTR_BYTES,
+    BTBParams,
+    CacheParams,
+    CoreParams,
+    MemoryParams,
+    NoCParams,
+    PredictorParams,
+    PrefetchParams,
+    SimConfig,
+)
+from .core import (
+    FIGURE_MECHANISMS,
+    MECHANISMS,
+    FrontEndEngine,
+    SimulationResult,
+    Simulator,
+    make_config,
+    run_mechanism,
+)
+from .errors import (
+    ConfigError,
+    ReproError,
+    SimulationError,
+    UnknownMechanismError,
+    WorkloadError,
+)
+from .workloads import (
+    ALL_PROFILES,
+    Workload,
+    WorkloadProfile,
+    get_profile,
+    load_workload,
+    profile_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PROFILES",
+    "BLOCK_BYTES",
+    "BTBParams",
+    "CacheParams",
+    "ConfigError",
+    "CoreParams",
+    "FIGURE_MECHANISMS",
+    "FrontEndEngine",
+    "INSTR_BYTES",
+    "MECHANISMS",
+    "MemoryParams",
+    "NoCParams",
+    "PredictorParams",
+    "PrefetchParams",
+    "ReproError",
+    "SimConfig",
+    "SimulationError",
+    "SimulationResult",
+    "Simulator",
+    "UnknownMechanismError",
+    "Workload",
+    "WorkloadError",
+    "WorkloadProfile",
+    "__version__",
+    "get_profile",
+    "load_workload",
+    "make_config",
+    "profile_names",
+    "run_mechanism",
+]

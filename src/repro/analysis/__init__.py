@@ -1,0 +1,44 @@
+"""Analysis helpers: storage accounting and report formatting."""
+
+from .storage import (
+    StorageCost,
+    boomerang_cost,
+    btb_bytes,
+    btb_prefetch_buffer_bytes,
+    confluence_cost,
+    dip_cost,
+    fdip_cost,
+    ftq_bytes,
+    next_line_cost,
+    pif_cost,
+    rdip_cost,
+    shift_cost,
+    storage_comparison,
+    stream_history_bytes,
+    stream_index_bytes,
+    two_level_btb_cost,
+)
+from .tables import format_bar, format_bar_chart, format_table, human_bytes
+
+__all__ = [
+    "StorageCost",
+    "boomerang_cost",
+    "btb_bytes",
+    "btb_prefetch_buffer_bytes",
+    "confluence_cost",
+    "dip_cost",
+    "fdip_cost",
+    "format_bar",
+    "format_bar_chart",
+    "format_table",
+    "ftq_bytes",
+    "human_bytes",
+    "next_line_cost",
+    "pif_cost",
+    "rdip_cost",
+    "shift_cost",
+    "storage_comparison",
+    "stream_history_bytes",
+    "stream_index_bytes",
+    "two_level_btb_cost",
+]

@@ -1,0 +1,78 @@
+"""ASCII table / bar-chart formatting for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a simple aligned ASCII table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_fmt.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append(fmt_row(headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(cells) for cells in rendered)
+    return "\n".join(lines)
+
+
+def format_bar(value: float, scale: float, width: int = 40, char: str = "#") -> str:
+    """A single horizontal ASCII bar, for quick visual comparisons."""
+    if scale <= 0:
+        return ""
+    filled = int(round(width * min(value / scale, 1.0)))
+    return char * filled
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 40,
+    value_fmt: str = "{:.2f}",
+) -> str:
+    """Labelled horizontal bar chart (one bar per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    scale = max(values) if values else 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = format_bar(value, scale, width)
+        lines.append(f"{label.rjust(label_w)} | {bar} {value_fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def human_bytes(n: float) -> str:
+    """740 -> '740 B', 245760 -> '240.0 KB'."""
+    if n < 1024:
+        return f"{n:.0f} B"
+    if n < 1024 * 1024:
+        return f"{n / 1024:.1f} KB"
+    return f"{n / (1024 * 1024):.2f} MB"

@@ -1,0 +1,30 @@
+"""Branch-prediction substrate: BTBs, return address stack, predictors."""
+
+from .btb import BasicBlockBTB, BTBEntry, BTBPrefetchBuffer, ConventionalBTB
+from .predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    DirectionPredictor,
+    GsharePredictor,
+    NeverTakenPredictor,
+    OraclePredictor,
+    TagePredictor,
+    make_predictor,
+)
+from .ras import ReturnAddressStack
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BasicBlockBTB",
+    "BTBEntry",
+    "BTBPrefetchBuffer",
+    "BimodalPredictor",
+    "ConventionalBTB",
+    "DirectionPredictor",
+    "GsharePredictor",
+    "NeverTakenPredictor",
+    "OraclePredictor",
+    "ReturnAddressStack",
+    "TagePredictor",
+    "make_predictor",
+]

@@ -1,0 +1,46 @@
+"""Bimodal (2-bit saturating counter) direction predictor.
+
+The paper's "FDIP 2-bit" configuration (Figure 2) uses exactly this:
+a PC-indexed table of 2-bit counters, no global history.
+"""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor
+
+
+class BimodalPredictor(DirectionPredictor):
+    """PC-indexed 2-bit saturating counters."""
+
+    name = "bimodal"
+
+    #: Counter values 0-3; >=2 predicts taken. Initialised weakly not-taken.
+    _INIT = 1
+
+    def __init__(self, entries: int = 4096):
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError("bimodal entries must be a power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._table = [self._INIT] * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        ctr = self._table[idx]
+        if taken:
+            if ctr < 3:
+                self._table[idx] = ctr + 1
+        elif ctr > 0:
+            self._table[idx] = ctr - 1
+
+    def storage_bits(self) -> int:
+        return 2 * self.entries
+
+    def reset(self) -> None:
+        self._table = [self._INIT] * self.entries

@@ -1,0 +1,50 @@
+"""gshare direction predictor (global history XOR PC).
+
+Not evaluated in the paper, but a standard mid-tier baseline between
+bimodal and TAGE; useful for sensitivity studies beyond the paper's set.
+"""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor
+
+
+class GsharePredictor(DirectionPredictor):
+    """Global-history-XOR-PC indexed 2-bit counters."""
+
+    name = "gshare"
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12):
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError("gshare entries must be a power of two")
+        if history_bits < 1:
+            raise ValueError("gshare needs at least one history bit")
+        self.entries = entries
+        self.history_bits = history_bits
+        self._mask = entries - 1
+        self._hist_mask = (1 << history_bits) - 1
+        self._table = [1] * entries
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        ctr = self._table[idx]
+        if taken:
+            if ctr < 3:
+                self._table[idx] = ctr + 1
+        elif ctr > 0:
+            self._table[idx] = ctr - 1
+        self._history = ((self._history << 1) | (1 if taken else 0)) & self._hist_mask
+
+    def storage_bits(self) -> int:
+        return 2 * self.entries + self.history_bits
+
+    def reset(self) -> None:
+        self._table = [1] * self.entries
+        self._history = 0

@@ -1,0 +1,228 @@
+"""TAGE direction predictor (Seznec & Michaud), the paper's Table I choice.
+
+A base bimodal table plus N partially-tagged tables indexed by geometrically
+increasing global-history lengths. This implementation follows the standard
+formulation: longest-matching table provides the prediction; allocation on
+mispredicts targets a longer-history table with a free useful counter;
+useful bits age periodically. Sized to the paper's 8 KB budget by default
+(4K-entry base + 4 x 1K-entry tagged tables, 8-bit tags).
+"""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor
+
+
+def _fold(history: int, bits: int) -> int:
+    """XOR-fold an arbitrary-width history integer into ``bits`` bits."""
+    mask = (1 << bits) - 1
+    acc = 0
+    while history:
+        acc ^= history & mask
+        history >>= bits
+    return acc
+
+
+class _TaggedTable:
+    """One tagged TAGE component."""
+
+    __slots__ = ("history_length", "index_bits", "tag_bits", "ctr", "tag", "useful",
+                 "_index_mask", "_tag_mask", "_hist_mask")
+
+    def __init__(self, entries: int, tag_bits: int, history_length: int):
+        self.history_length = history_length
+        self.index_bits = entries.bit_length() - 1
+        self.tag_bits = tag_bits
+        self.ctr = [3] * entries          # 3-bit counter, >=4 predicts taken
+        self.tag = [0] * entries
+        self.useful = [0] * entries       # 2-bit useful counter
+        self._index_mask = entries - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._hist_mask = (1 << history_length) - 1
+
+    def index_of(self, pc: int, history: int) -> int:
+        h = history & self._hist_mask
+        folded = _fold(h, self.index_bits)
+        return ((pc >> 2) ^ (pc >> (2 + self.index_bits)) ^ folded) & self._index_mask
+
+    def tag_of(self, pc: int, history: int) -> int:
+        h = history & self._hist_mask
+        return (
+            (pc >> 2) ^ _fold(h, self.tag_bits) ^ (_fold(h, self.tag_bits - 1) << 1)
+        ) & self._tag_mask
+
+
+class TagePredictor(DirectionPredictor):
+    """TAGE with a bimodal base and geometric-history tagged tables."""
+
+    name = "tage"
+
+    #: Clear all useful bits every this many updates (graceful aging).
+    _USEFUL_RESET_PERIOD = 1 << 18
+
+    def __init__(
+        self,
+        base_entries: int = 4096,
+        table_entries: int = 1024,
+        tag_bits: int = 8,
+        history_lengths: tuple[int, ...] = (5, 15, 44, 130),
+    ):
+        if base_entries & (base_entries - 1):
+            raise ValueError("base entries must be a power of two")
+        if table_entries & (table_entries - 1):
+            raise ValueError("table entries must be a power of two")
+        if list(history_lengths) != sorted(set(history_lengths)):
+            raise ValueError("history lengths must be strictly increasing")
+        self.base_entries = base_entries
+        self._base_mask = base_entries - 1
+        self.base = [1] * base_entries    # 2-bit counters, weakly not-taken
+        self.tables = [
+            _TaggedTable(table_entries, tag_bits, length) for length in history_lengths
+        ]
+        self._max_hist_mask = (1 << history_lengths[-1]) - 1
+        self.history = 0
+        self._updates = 0
+        self._alloc_seed = 0x9E3779B9      # deterministic pseudo-randomness
+        # predict() caches its working set for the matching update().
+        self._cached_pc: int | None = None
+        self._cached: tuple | None = None
+
+    # -- prediction ---------------------------------------------------------
+
+    def _lookup(self, pc: int):
+        """Compute (indices, tags, provider, alt) for ``pc`` at current history."""
+        indices = []
+        tags = []
+        provider = -1
+        alt = -1
+        for t, table in enumerate(self.tables):
+            idx = table.index_of(pc, self.history)
+            tag = table.tag_of(pc, self.history)
+            indices.append(idx)
+            tags.append(tag)
+            if table.tag[idx] == tag:
+                alt = provider
+                provider = t
+        return indices, tags, provider, alt
+
+    def _base_pred(self, pc: int) -> bool:
+        return self.base[(pc >> 2) & self._base_mask] >= 2
+
+    def predict(self, pc: int) -> bool:
+        indices, tags, provider, alt = self._lookup(pc)
+        if provider >= 0:
+            table = self.tables[provider]
+            idx = indices[provider]
+            ctr = table.ctr[idx]
+            pred = ctr >= 4
+            alt_pred = (
+                self.tables[alt].ctr[indices[alt]] >= 4
+                if alt >= 0
+                else self._base_pred(pc)
+            )
+            # "Use alt on newly allocated": a weak, never-proven-useful
+            # provider entry is likely fresh noise — trust the alternate.
+            provider_pred = pred
+            if table.useful[idx] == 0 and ctr in (3, 4):
+                pred = alt_pred
+        else:
+            pred = self._base_pred(pc)
+            alt_pred = pred
+            provider_pred = pred
+        self._cached_pc = pc
+        self._cached = (indices, tags, provider, alt, pred, alt_pred, provider_pred)
+        return pred
+
+    # -- training -----------------------------------------------------------
+
+    def update(self, pc: int, taken: bool) -> None:
+        if self._cached_pc != pc or self._cached is None:
+            self.predict(pc)
+        indices, tags, provider, alt, pred, alt_pred, provider_pred = self._cached  # type: ignore[misc]
+        self._cached_pc = None
+        self._cached = None
+
+        if provider >= 0:
+            table = self.tables[provider]
+            idx = indices[provider]
+            ctr = table.ctr[idx]
+            if taken:
+                if ctr < 7:
+                    table.ctr[idx] = ctr + 1
+            elif ctr > 0:
+                table.ctr[idx] = ctr - 1
+            # Useful counter: provider was useful iff it disagreed with the
+            # alternate and was right (harmful if it was wrong).
+            if provider_pred != alt_pred:
+                u = table.useful[idx]
+                if provider_pred == taken:
+                    if u < 3:
+                        table.useful[idx] = u + 1
+                elif u > 0:
+                    table.useful[idx] = u - 1
+        else:
+            bidx = (pc >> 2) & self._base_mask
+            ctr = self.base[bidx]
+            if taken:
+                if ctr < 3:
+                    self.base[bidx] = ctr + 1
+            elif ctr > 0:
+                self.base[bidx] = ctr - 1
+
+        # Allocate a longer-history entry on a mispredict.
+        if pred != taken and provider < len(self.tables) - 1:
+            self._allocate(indices, tags, provider, taken)
+
+        self._updates += 1
+        if self._updates % self._USEFUL_RESET_PERIOD == 0:
+            for table in self.tables:
+                table.useful = [0] * len(table.useful)
+
+        self.history = ((self.history << 1) | (1 if taken else 0)) & self._max_hist_mask
+
+    def _allocate(self, indices, tags, provider: int, taken: bool) -> None:
+        start = provider + 1
+        candidates = [
+            t for t in range(start, len(self.tables))
+            if self.tables[t].useful[indices[t]] == 0
+        ]
+        if not candidates:
+            # Nothing free: age the candidates instead of allocating.
+            for t in range(start, len(self.tables)):
+                idx = indices[t]
+                if self.tables[t].useful[idx] > 0:
+                    self.tables[t].useful[idx] -= 1
+            return
+        # Prefer shorter history (standard TAGE bias: pick the first free
+        # table with probability 1/2, else the next).
+        self._alloc_seed = (self._alloc_seed * 1103515245 + 12345) & 0xFFFFFFFF
+        pick = candidates[0]
+        if len(candidates) > 1 and (self._alloc_seed >> 16) & 1:
+            pick = candidates[1]
+        table = self.tables[pick]
+        idx = indices[pick]
+        table.tag[idx] = tags[pick]
+        table.ctr[idx] = 4 if taken else 3
+        table.useful[idx] = 0
+
+    # -- accounting ---------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        bits = 2 * self.base_entries
+        for table in self.tables:
+            entry_bits = 3 + table.tag_bits + 2
+            bits += entry_bits * len(table.ctr)
+        bits += self.tables[-1].history_length  # global history register
+        return bits
+
+    def reset(self) -> None:
+        self.base = [1] * self.base_entries
+        for table in self.tables:
+            n = len(table.ctr)
+            table.ctr = [3] * n
+            table.tag = [0] * n
+            table.useful = [0] * n
+        self.history = 0
+        self._updates = 0
+        self._cached_pc = None
+        self._cached = None

@@ -1,0 +1,58 @@
+"""Return address stack with snapshot/restore for wrong-path recovery.
+
+The BPU pushes on calls and pops on returns while running ahead; a squash
+must restore the RAS to its state at the point of divergence, which the
+engine does by snapshotting at divergence and restoring at the squash.
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Fixed-capacity circular return-address stack."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("RAS capacity must be >= 1")
+        self.capacity = capacity
+        self._stack: list[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.overflows = 0
+        self.underflows = 0
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def push(self, return_pc: int) -> None:
+        """Push a return address; overflow drops the oldest entry."""
+        self.pushes += 1
+        if len(self._stack) >= self.capacity:
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_pc)
+
+    def pop(self) -> int | None:
+        """Pop the predicted return target; None when empty (underflow)."""
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> int | None:
+        return self._stack[-1] if self._stack else None
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Cheap immutable copy of the current contents."""
+        return tuple(self._stack)
+
+    def restore(self, snap: tuple[int, ...]) -> None:
+        self._stack = list(snap)
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self.pushes = 0
+        self.pops = 0
+        self.overflows = 0
+        self.underflows = 0

@@ -1,0 +1,36 @@
+"""Core simulation: the cycle-level engine, mechanism registry and API."""
+
+from .engine import (
+    CAUSE_BTB,
+    CAUSE_COND,
+    CAUSE_NONE,
+    CAUSE_TARGET,
+    FrontEndEngine,
+)
+from .mechanisms import (
+    FIGURE_MECHANISMS,
+    MECHANISMS,
+    MechanismTraits,
+    build_prefetcher,
+    make_config,
+    traits_for,
+)
+from .results import SimulationResult
+from .simulator import Simulator, run_mechanism
+
+__all__ = [
+    "CAUSE_BTB",
+    "CAUSE_COND",
+    "CAUSE_NONE",
+    "CAUSE_TARGET",
+    "FIGURE_MECHANISMS",
+    "FrontEndEngine",
+    "MECHANISMS",
+    "MechanismTraits",
+    "SimulationResult",
+    "Simulator",
+    "build_prefetcher",
+    "make_config",
+    "run_mechanism",
+    "traits_for",
+]

@@ -1,0 +1,143 @@
+"""Registry of control-flow delivery mechanisms (paper Section V-A).
+
+Each mechanism maps to a set of engine traits:
+
+============  =========  ==============  ============  ===========
+mechanism     decoupled  l1 prefetcher   BTB prefill   FTQ depth
+============  =========  ==============  ============  ===========
+none          no         —               —             shallow
+next_line     no         next-2-line     —             shallow
+dip           no         DIP + NL2       —             shallow
+fdip          yes        FTQ scan        —             32
+pif           no         PIF             —             shallow
+shift         no         SHIFT           —             shallow
+confluence    no         SHIFT           predecode     shallow, 16K BTB
+boomerang     yes        FTQ scan        miss-probe    32
+============  =========  ==============  ============  ===========
+
+"Decoupled" means the FDIP-style deep FTQ whose entries drive the prefetch
+engine; the shallow FTQ used otherwise models an ordinary coupled fetch
+buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import SimConfig
+from ..errors import UnknownMechanismError
+from ..prefetch import (
+    DiscontinuityPrefetcher,
+    InstructionPrefetcher,
+    NextLinePrefetcher,
+    PIFPrefetcher,
+    SHIFTPrefetcher,
+)
+
+#: Paper order for the main comparison figures (7, 8, 9).
+MECHANISMS: tuple[str, ...] = (
+    "none",
+    "next_line",
+    "dip",
+    "fdip",
+    "pif",
+    "shift",
+    "confluence",
+    "boomerang",
+)
+
+#: The subset plotted in Figures 7-9 (plus the no-prefetch baseline).
+FIGURE_MECHANISMS: tuple[str, ...] = (
+    "next_line",
+    "dip",
+    "fdip",
+    "shift",
+    "confluence",
+    "boomerang",
+)
+
+#: FTQ depth modelling a conventional (coupled) fetch buffer.
+SHALLOW_FTQ_DEPTH = 4
+
+
+@dataclass(frozen=True)
+class MechanismTraits:
+    """Engine-facing description of one mechanism."""
+
+    name: str
+    #: FDIP-style decoupled front end (deep FTQ + FTQ-scanning prefetch).
+    decoupled: bool
+    #: Demand/retire-stream prefetcher kind, if any.
+    prefetcher: str | None
+    #: BTB prefill style: None, "boomerang" (miss probes) or "confluence"
+    #: (predecode every arriving block).
+    btb_prefill: str | None
+
+
+_TRAITS: dict[str, MechanismTraits] = {
+    "none": MechanismTraits("none", False, None, None),
+    "next_line": MechanismTraits("next_line", False, "next_line", None),
+    "dip": MechanismTraits("dip", False, "dip", None),
+    "fdip": MechanismTraits("fdip", True, None, None),
+    "pif": MechanismTraits("pif", False, "pif", None),
+    "shift": MechanismTraits("shift", False, "shift", None),
+    "confluence": MechanismTraits("confluence", False, "shift", "confluence"),
+    "boomerang": MechanismTraits("boomerang", True, None, "boomerang"),
+}
+
+
+def traits_for(mechanism: str) -> MechanismTraits:
+    """Traits of ``mechanism``; raises for unknown names."""
+    try:
+        return _TRAITS[mechanism]
+    except KeyError:
+        raise UnknownMechanismError(mechanism, MECHANISMS) from None
+
+
+def make_config(mechanism: str = "none", base: SimConfig | None = None, **overrides) -> SimConfig:
+    """Build a :class:`SimConfig` for ``mechanism``.
+
+    Applies the paper's per-mechanism defaults (Confluence's 16K-entry BTB
+    upper bound, shallow FTQ for coupled front ends) on top of ``base``,
+    then any keyword overrides (passed to ``dataclasses.replace``).
+    """
+    traits = traits_for(mechanism)
+    cfg = base if base is not None else SimConfig()
+    cfg = replace(cfg, mechanism=mechanism)
+    if mechanism == "confluence" and "btb" not in overrides:
+        cfg = cfg.with_btb_entries(cfg.prefetch.confluence_btb_entries)
+    if not traits.decoupled and "core" not in overrides:
+        core = replace(cfg.core, ftq_depth=SHALLOW_FTQ_DEPTH)
+        cfg = replace(cfg, core=core)
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    return cfg
+
+
+def build_prefetcher(config: SimConfig, llc_round_trip: int) -> InstructionPrefetcher | None:
+    """Instantiate the demand/retire-stream prefetcher for ``config``."""
+    traits = traits_for(config.mechanism)
+    pf = config.prefetch
+    if traits.prefetcher is None:
+        return None
+    if traits.prefetcher == "next_line":
+        return NextLinePrefetcher(degree=pf.next_line_degree)
+    if traits.prefetcher == "dip":
+        return DiscontinuityPrefetcher(
+            table_entries=pf.dip_table_entries,
+            next_line_degree=pf.next_line_degree,
+        )
+    if traits.prefetcher == "pif":
+        return PIFPrefetcher(
+            history_entries=pf.stream_history_entries,
+            index_entries=pf.stream_index_entries,
+            lookahead=pf.stream_lookahead,
+        )
+    if traits.prefetcher == "shift":
+        return SHIFTPrefetcher(
+            history_entries=pf.stream_history_entries,
+            index_entries=pf.stream_index_entries,
+            lookahead=pf.stream_lookahead,
+            llc_round_trip=llc_round_trip,
+        )
+    raise UnknownMechanismError(traits.prefetcher, MECHANISMS)

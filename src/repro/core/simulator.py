@@ -1,0 +1,60 @@
+"""Public simulation API.
+
+Typical use::
+
+    from repro import Simulator, make_config, load_workload
+
+    workload = load_workload("apache")
+    boomerang = Simulator(workload, make_config("boomerang")).run()
+    baseline = Simulator(workload, make_config("none")).run()
+    print(boomerang.speedup_over(baseline))
+
+:func:`run_mechanism` wraps the three lines above for one-off runs.
+"""
+
+from __future__ import annotations
+
+from ..config import SimConfig
+from ..workloads.profiles import WorkloadProfile
+from ..workloads.workload import Workload, load_workload
+from .engine import FrontEndEngine
+from .mechanisms import make_config
+from .results import SimulationResult
+
+
+class Simulator:
+    """One workload + one configuration = one runnable simulation."""
+
+    def __init__(self, workload: Workload, config: SimConfig | None = None):
+        self.workload = workload
+        self.config = config if config is not None else make_config("none")
+
+    def run(self, max_instructions: int | None = None) -> SimulationResult:
+        """Simulate and return the measured-region result.
+
+        Engines are single-use (they accumulate microarchitectural state),
+        so each call builds a fresh one — results are reproducible for a
+        given (workload, config) pair.
+        """
+        engine = FrontEndEngine(self.workload, self.config)
+        raw = engine.run(max_instructions=max_instructions)
+        return SimulationResult(
+            workload=self.workload.name,
+            mechanism=self.config.mechanism,
+            raw=raw,
+        )
+
+
+def run_mechanism(
+    mechanism: str,
+    workload: Workload | WorkloadProfile | str,
+    config: SimConfig | None = None,
+    max_instructions: int | None = None,
+    scale: float = 1.0,
+    **config_overrides,
+) -> SimulationResult:
+    """Convenience: build config + workload and run one simulation."""
+    if not isinstance(workload, Workload):
+        workload = load_workload(workload, scale=scale)
+    cfg = make_config(mechanism, base=config, **config_overrides)
+    return Simulator(workload, cfg).run(max_instructions=max_instructions)

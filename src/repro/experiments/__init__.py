@@ -1,0 +1,66 @@
+"""Regeneration harness: one module per paper exhibit.
+
+Each module exposes ``run(scale_name=None, ...) -> ExperimentResult`` and a
+``main()`` that prints the table. ``python -m repro.experiments`` runs the
+whole set. Scale via ``REPRO_SCALE`` = ``quick`` | ``default`` | ``full``.
+"""
+
+from __future__ import annotations
+
+from . import (
+    ablations,
+    branch_distance,
+    btb_size_sweep,
+    coverage_vs_latency,
+    crossbar,
+    miss_breakdown,
+    opportunity,
+    speedup,
+    squashes,
+    stall_coverage,
+    storage_costs,
+    throttle_sweep,
+)
+from .common import (
+    SCALES,
+    WORKLOAD_ORDER,
+    ExperimentResult,
+    ExperimentScale,
+    clear_run_cache,
+    get_scale,
+    run_cached,
+)
+
+#: Exhibit id -> experiment module, in paper order.
+EXPERIMENTS = {
+    "figure1": opportunity,
+    "figure2": coverage_vs_latency,
+    "figure3": miss_breakdown,
+    "figure4": branch_distance,
+    "figure5": btb_size_sweep,
+    "figure7": squashes,
+    "figure8": stall_coverage,
+    "figure9": speedup,
+    "figure10": throttle_sweep,
+    "figure11": crossbar,
+    "storage": storage_costs,
+    "ablations": ablations,
+}
+
+
+def run_all(scale_name: str | None = None) -> dict[str, ExperimentResult]:
+    """Run every experiment; returns exhibit id -> result."""
+    return {name: module.run(scale_name) for name, module in EXPERIMENTS.items()}
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentScale",
+    "SCALES",
+    "WORKLOAD_ORDER",
+    "clear_run_cache",
+    "get_scale",
+    "run_all",
+    "run_cached",
+]

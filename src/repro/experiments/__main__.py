@@ -1,0 +1,39 @@
+"""Run every experiment and print the paper-style tables.
+
+Usage::
+
+    python -m repro.experiments [quick|default|full] [exhibit ...]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import EXPERIMENTS
+from .common import SCALES
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    scale = None
+    if args and args[0] in SCALES:
+        scale = args.pop(0)
+    chosen = args or list(EXPERIMENTS)
+    unknown = [name for name in chosen if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown exhibits: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in chosen:
+        start = time.time()
+        result = EXPERIMENTS[name].run(scale)
+        elapsed = time.time() - start
+        print(result.to_table())
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

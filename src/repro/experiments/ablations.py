@@ -1,0 +1,70 @@
+"""Ablations of Boomerang's design choices (paper Section IV-C).
+
+Beyond the paper's own throttle sweep (Figure 10), these quantify the
+pieces DESIGN.md calls out:
+
+* **BTB prefetch buffer capacity** — staging predecoded entries outside
+  the BTB; 32 entries is the paper's choice.
+* **FTQ depth** — how far the decoupled front end runs ahead.
+* **Predecode latency** — how expensive each BTB miss resolution is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.mechanisms import make_config
+from ..stats import geometric_mean
+from .common import (
+    WORKLOAD_ORDER,
+    ExperimentResult,
+    baseline_for,
+    get_scale,
+    run_cached,
+)
+
+BTB_BUFFER_SIZES: tuple[int, ...] = (1, 8, 32, 128)
+FTQ_DEPTHS: tuple[int, ...] = (8, 16, 32, 64)
+PREDECODE_LATENCIES: tuple[int, ...] = (1, 3, 6)
+
+
+def _gmean_speedup(cfg, names, scale) -> float:
+    speedups = []
+    for name in names:
+        base = baseline_for(name, scale)
+        res = run_cached(name, cfg, scale.workload_scale)
+        speedups.append(res.speedup_over(base))
+    return geometric_mean(speedups)
+
+
+def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
+    scale = get_scale(scale_name)
+    names = workloads if workloads is not None else WORKLOAD_ORDER
+    result = ExperimentResult(
+        exhibit="ablations",
+        title="Boomerang design ablations (gmean speedup over baseline)",
+        headers=["knob", "value", "gmean_speedup"],
+    )
+    for size in BTB_BUFFER_SIZES:
+        cfg = make_config("boomerang")
+        cfg = replace(
+            cfg, prefetch=replace(cfg.prefetch, btb_prefetch_buffer_entries=size)
+        )
+        result.rows.append(["btb_prefetch_buffer", size, _gmean_speedup(cfg, names, scale)])
+    for depth in FTQ_DEPTHS:
+        cfg = make_config("boomerang")
+        cfg = replace(cfg, core=replace(cfg.core, ftq_depth=depth))
+        result.rows.append(["ftq_depth", depth, _gmean_speedup(cfg, names, scale)])
+    for latency in PREDECODE_LATENCIES:
+        cfg = make_config("boomerang")
+        cfg = replace(cfg, core=replace(cfg.core, predecode_latency=latency))
+        result.rows.append(["predecode_latency", latency, _gmean_speedup(cfg, names, scale)])
+    return result
+
+
+def main() -> None:
+    print(run().to_table())
+
+
+if __name__ == "__main__":
+    main()

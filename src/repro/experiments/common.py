@@ -1,0 +1,176 @@
+"""Shared experiment infrastructure: scales, cached runs, result tables.
+
+Experiments default to the ``default`` scale; set ``REPRO_SCALE=quick`` for
+CI-speed runs or ``REPRO_SCALE=full`` for the most faithful (slowest)
+regeneration. All scales preserve the footprint:structure over-subscription
+ratios (see DESIGN.md section 5.6); quick runs shrink trace length and
+sweep density, not the microarchitecture.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from ..analysis.tables import format_table
+from ..config import SimConfig
+from ..core.mechanisms import make_config
+from ..core.results import SimulationResult
+from ..core.simulator import Simulator
+from ..workloads.profiles import ALL_PROFILES
+from ..workloads.workload import load_workload
+
+#: Paper-order workload names.
+WORKLOAD_ORDER: tuple[str, ...] = tuple(p.name for p in ALL_PROFILES)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big an experiment run should be."""
+
+    name: str
+    #: Workload scale factor (footprint and trace length together).
+    workload_scale: float
+    #: LLC latency sweep points (Figures 2, 5).
+    latency_points: tuple[int, ...]
+    #: BTB sizes for the Figure 5 sweep.
+    btb_sizes: tuple[int, ...]
+    #: FDIP BTB sizes for the Figure 3 breakdown.
+    fig3_btb_sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.workload_scale <= 0:
+            raise ValueError("workload scale must be positive")
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "quick": ExperimentScale(
+        name="quick",
+        workload_scale=0.25,
+        latency_points=(1, 30, 70),
+        btb_sizes=(2048, 8192, 32768),
+        fig3_btb_sizes=(2048, 8192),
+    ),
+    "default": ExperimentScale(
+        name="default",
+        workload_scale=1.0,
+        latency_points=(1, 10, 30, 50, 70),
+        btb_sizes=(2048, 8192, 32768),
+        fig3_btb_sizes=(2048, 4096, 8192, 32768),
+    ),
+    "full": ExperimentScale(
+        name="full",
+        workload_scale=1.0,
+        latency_points=(1, 10, 20, 30, 40, 50, 60, 70),
+        btb_sizes=(2048, 4096, 8192, 16384, 32768),
+        fig3_btb_sizes=(2048, 4096, 8192, 16384, 32768),
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve a scale by argument, ``REPRO_SCALE`` env var, or default."""
+    chosen = name or os.environ.get("REPRO_SCALE", "default")
+    try:
+        return SCALES[chosen]
+    except KeyError:
+        known = ", ".join(sorted(SCALES))
+        raise ValueError(f"unknown scale {chosen!r}; known scales: {known}") from None
+
+
+# ---------------------------------------------------------------------------
+# Cached simulation runs (figures 7/8/9 share one grid; sweeps reuse bases).
+# ---------------------------------------------------------------------------
+
+_RUN_CACHE: dict[tuple, SimulationResult] = {}
+_RUN_CACHE_LIMIT = 4096
+
+
+def _config_key(config: SimConfig) -> tuple:
+    return (
+        config.mechanism,
+        config.btb.entries,
+        config.predictor.kind,
+        config.core.ftq_depth,
+        config.prefetch.throttle_blocks,
+        config.prefetch.btb_prefetch_buffer_entries,
+        config.core.predecode_latency,
+        config.memory.llc_round_trip_override,
+        config.memory.noc.kind,
+        config.perfect_l1i,
+        config.perfect_btb,
+    )
+
+
+def run_cached(
+    workload_name: str,
+    config: SimConfig,
+    workload_scale: float = 1.0,
+) -> SimulationResult:
+    """Run (or fetch) one simulation; memoized per process."""
+    key = (workload_name, workload_scale, _config_key(config))
+    hit = _RUN_CACHE.get(key)
+    if hit is not None:
+        return hit
+    workload = load_workload(workload_name, scale=workload_scale)
+    result = Simulator(workload, config).run()
+    if len(_RUN_CACHE) >= _RUN_CACHE_LIMIT:
+        _RUN_CACHE.pop(next(iter(_RUN_CACHE)))
+    _RUN_CACHE[key] = result
+    return result
+
+
+def clear_run_cache() -> None:
+    _RUN_CACHE.clear()
+
+
+def baseline_for(
+    workload_name: str,
+    scale: ExperimentScale,
+    btb_entries: int | None = None,
+    llc_round_trip: int | None = None,
+    noc_kind: str | None = None,
+) -> SimulationResult:
+    """The matched no-prefetch baseline used by coverage/speedup metrics."""
+    cfg = make_config("none")
+    if btb_entries is not None:
+        cfg = cfg.with_btb_entries(btb_entries)
+    if llc_round_trip is not None:
+        cfg = cfg.with_llc_latency(llc_round_trip)
+    if noc_kind is not None:
+        cfg = replace(
+            cfg, memory=replace(cfg.memory, noc=replace(cfg.memory.noc, kind=noc_kind))
+        )
+    return run_cached(workload_name, cfg, scale.workload_scale)
+
+
+# ---------------------------------------------------------------------------
+# Result container
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated exhibit: a titled table plus free-form notes."""
+
+    exhibit: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def to_table(self, float_fmt: str = "{:.3f}") -> str:
+        text = format_table(self.headers, self.rows, title=self.title, float_fmt=float_fmt)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return text
+
+    def column(self, header: str) -> list[object]:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def row_for(self, label: object) -> list[object]:
+        for row in self.rows:
+            if row[0] == label:
+                return row
+        raise KeyError(f"no row labelled {label!r} in {self.exhibit}")

@@ -1,0 +1,70 @@
+"""Figure 11 — performance at a lower (crossbar) LLC round-trip latency.
+
+Paper: replacing the mesh (avg ~30-cycle LLC round trip) with a wide
+crossbar (~18 cycles) shrinks everyone's absolute gains (misses are
+cheaper) but preserves the ordering, including Boomerang's slight edge
+over Confluence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.mechanisms import make_config
+from ..stats import geometric_mean
+from .common import (
+    WORKLOAD_ORDER,
+    ExperimentResult,
+    baseline_for,
+    get_scale,
+    run_cached,
+)
+
+#: The Figure 11 mechanism set.
+MECHS: tuple[str, ...] = ("next_line", "fdip", "shift", "confluence", "boomerang")
+
+LABELS = {
+    "next_line": "Next Line",
+    "fdip": "FDIP",
+    "shift": "SHIFT",
+    "confluence": "Confluence",
+    "boomerang": "Boomerang",
+}
+
+
+def _crossbar(cfg):
+    return replace(
+        cfg, memory=replace(cfg.memory, noc=replace(cfg.memory.noc, kind="crossbar"))
+    )
+
+
+def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
+    scale = get_scale(scale_name)
+    names = workloads if workloads is not None else WORKLOAD_ORDER
+    result = ExperimentResult(
+        exhibit="figure11",
+        title="Figure 11: speedup over no-prefetch baseline, crossbar NoC (18-cycle LLC)",
+        headers=["workload"] + [LABELS[m] for m in MECHS],
+    )
+    per_mech: dict[str, list[float]] = {m: [] for m in MECHS}
+    for name in names:
+        base = baseline_for(name, scale, noc_kind="crossbar")
+        row: list[object] = [name]
+        for mech in MECHS:
+            cfg = _crossbar(make_config(mech))
+            res = run_cached(name, cfg, scale.workload_scale)
+            speedup = res.speedup_over(base)
+            per_mech[mech].append(speedup)
+            row.append(speedup)
+        result.rows.append(row)
+    result.rows.append(["gmean"] + [geometric_mean(per_mech[m]) for m in MECHS])
+    result.notes.append("paper: same ordering as the mesh, smaller absolute gains")
+    return result
+
+
+def main() -> None:
+    print(run().to_table())
+
+
+if __name__ == "__main__":
+    main()

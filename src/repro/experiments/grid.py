@@ -1,0 +1,40 @@
+"""The shared workload x mechanism grid behind Figures 7, 8 and 9."""
+
+from __future__ import annotations
+
+from ..core.mechanisms import FIGURE_MECHANISMS, make_config
+from ..core.results import SimulationResult
+from .common import WORKLOAD_ORDER, ExperimentScale, baseline_for, run_cached
+
+#: Display labels matching the paper's figure legends.
+MECHANISM_LABELS: dict[str, str] = {
+    "none": "Base",
+    "next_line": "Next Line",
+    "dip": "DIP",
+    "fdip": "FDIP",
+    "pif": "PIF",
+    "shift": "SHIFT",
+    "confluence": "Confluence",
+    "boomerang": "Boomerang",
+}
+
+
+def run_grid(
+    scale: ExperimentScale,
+    workloads: tuple[str, ...] | None = None,
+    mechanisms: tuple[str, ...] = FIGURE_MECHANISMS,
+) -> dict[tuple[str, str], SimulationResult]:
+    """Run every (workload, mechanism) pair, plus the 'none' baseline.
+
+    Results are memoized process-wide, so the three figures sharing this
+    grid pay for it once.
+    """
+    names = workloads if workloads is not None else WORKLOAD_ORDER
+    grid: dict[tuple[str, str], SimulationResult] = {}
+    for wl in names:
+        grid[(wl, "none")] = baseline_for(wl, scale)
+        for mech in mechanisms:
+            grid[(wl, mech)] = run_cached(
+                wl, make_config(mech), scale.workload_scale
+            )
+    return grid

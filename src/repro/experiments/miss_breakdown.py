@@ -1,0 +1,77 @@
+"""Figure 3 — sources of miss cycles (sequential / conditional / unconditional).
+
+Paper: in the no-prefetch baseline, sequential misses dominate (40-54% of
+miss cycles); FDIP covers the bulk of all three classes, with the residual
+difference between small and large BTBs concentrated in *unconditional*
+discontinuities (far-away targets only a BTB can reveal).
+
+Rows are normalized to each workload's no-prefetch baseline miss cycles,
+like the paper's 100%-stacked bars.
+"""
+
+from __future__ import annotations
+
+from ..core.mechanisms import make_config
+from .common import (
+    WORKLOAD_ORDER,
+    ExperimentResult,
+    baseline_for,
+    get_scale,
+    run_cached,
+)
+
+
+def _configs(scale) -> list[tuple[str, object]]:
+    configs: list[tuple[str, object]] = [
+        ("Base 2K", make_config("none")),
+        ("Next-Line 2K", make_config("next_line")),
+    ]
+    for entries in scale.fig3_btb_sizes:
+        label = f"FDIP {entries // 1024}K"
+        configs.append((label, make_config("fdip").with_btb_entries(entries)))
+    configs.append(("PIF 32K", make_config("pif").with_btb_entries(32768)))
+    return configs
+
+
+def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
+    scale = get_scale(scale_name)
+    names = workloads if workloads is not None else WORKLOAD_ORDER
+    result = ExperimentResult(
+        exhibit="figure3",
+        title="Figure 3: miss-cycle breakdown, % of no-prefetch baseline miss cycles",
+        headers=["config", "sequential%", "conditional%", "unconditional%", "total%"],
+    )
+    base_totals = {name: baseline_for(name, scale).stall_cycles for name in names}
+    denom = sum(base_totals.values())
+    for label, cfg in _configs(scale):
+        seq = cond = uncond = 0.0
+        for name in names:
+            res = run_cached(name, cfg, scale.workload_scale)
+            seq += res.raw.get("stall_seq", 0)
+            cond += res.raw.get("stall_cond", 0)
+            uncond += res.raw.get("stall_uncond", 0)
+        row = [
+            label,
+            100.0 * seq / denom,
+            100.0 * cond / denom,
+            100.0 * uncond / denom,
+            100.0 * (seq + cond + uncond) / denom,
+        ]
+        result.rows.append(row)
+    base_row = result.row_for("Base 2K")
+    result.notes.append(
+        f"baseline sequential share = {100 * float(base_row[1]) / float(base_row[4]):.0f}% "
+        "(paper: 40-54%)"
+    )
+    result.notes.append(
+        "paper: the FDIP BTB-size gap concentrates in the unconditional class"
+    )
+    return result
+
+
+def main() -> None:
+    print(run().to_table(float_fmt="{:.1f}"))
+
+
+if __name__ == "__main__":
+    main()

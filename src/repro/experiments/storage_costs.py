@@ -1,0 +1,44 @@
+"""Section VI-D — storage cost comparison.
+
+Paper: Boomerang needs 540 bytes total (204 B FTQ + 336 B BTB prefetch
+buffer) against Confluence's 240 KB LLC tag-array extension plus a >200 KB
+LLC capacity carve per co-scheduled workload; PIF needs >200 KB of private
+per-core metadata; RDIP ~60 KB; SHIFT >400 KB shared.
+"""
+
+from __future__ import annotations
+
+from ..analysis.storage import storage_comparison
+from ..analysis.tables import human_bytes
+from ..config import SimConfig
+from .common import ExperimentResult
+
+
+def run(scale_name: str | None = None, n_workloads: int = 1) -> ExperimentResult:
+    del scale_name  # analytic: scale-independent
+    result = ExperimentResult(
+        exhibit="storage",
+        title=f"Section VI-D: dedicated metadata storage ({n_workloads} workload(s))",
+        headers=["mechanism", "per_core", "llc_carve", "shared", "total", "notes"],
+    )
+    for cost in storage_comparison(SimConfig(), n_workloads=n_workloads):
+        result.rows.append(
+            [
+                cost.mechanism,
+                human_bytes(cost.per_core_bytes),
+                human_bytes(cost.llc_carve_bytes),
+                human_bytes(cost.shared_bytes),
+                human_bytes(cost.total_bytes),
+                cost.notes,
+            ]
+        )
+    result.notes.append("paper: Boomerang 540 B vs Confluence ~240 KB + LLC carve")
+    return result
+
+
+def main() -> None:
+    print(run().to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Front-end building blocks: fetch target queue and block predecoder."""
+
+from .ftq import FetchTargetQueue
+from .predecode import boomerang_fill, find_terminating_branch, predecode_block
+
+__all__ = [
+    "FetchTargetQueue",
+    "boomerang_fill",
+    "find_terminating_branch",
+    "predecode_block",
+]

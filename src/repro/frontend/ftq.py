@@ -1,0 +1,64 @@
+"""Fetch target queue (FTQ).
+
+The FTQ decouples the branch-prediction unit from the fetch engine: the BPU
+pushes one basic-block fetch region per cycle at the tail; the fetch engine
+drains from the head; the prefetch engine scans newly pushed entries. Deep
+FTQs (32 entries) are what let FDIP/Boomerang run far ahead of fetch; the
+no-prefetch baseline uses a shallow one that models an ordinary coupled
+fetch buffer.
+
+Entries are engine-defined tuples; the FTQ only manages capacity, ordering
+and the prefetch-scan watermark.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class FetchTargetQueue:
+    """Bounded FIFO of fetch regions with a prefetch-scan cursor."""
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("FTQ depth must be >= 1")
+        self.depth = depth
+        self._entries: deque = deque()
+        #: Count of entries ever pushed; the prefetch engine keeps its own
+        #: watermark against this to scan each entry exactly once.
+        self.pushed = 0
+        self.flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, entry) -> None:
+        if len(self._entries) >= self.depth:
+            raise OverflowError("push on full FTQ")
+        self._entries.append(entry)
+        self.pushed += 1
+
+    def pop(self):
+        """Remove and return the head entry (fetch engine side)."""
+        return self._entries.popleft()
+
+    def peek(self):
+        return self._entries[0] if self._entries else None
+
+    def flush(self) -> int:
+        """Drop everything (squash); returns how many entries were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.flushes += 1
+        return dropped

@@ -1,0 +1,81 @@
+"""Cache-block predecoder.
+
+Models the hardware that scans the raw bytes of a fetched cache block and
+extracts the branch instructions it contains — branch opcodes encode the
+kind, and direct branches embed their target offset. Two consumers:
+
+* **Boomerang** (paper Section IV-B): resolve a BTB miss by finding the
+  first branch at or after the missing entry's start address, walking
+  sequential blocks if the block holds no such branch; stage the block's
+  other branches in the BTB prefetch buffer.
+* **Confluence**: bulk-insert every branch of an arriving block into the BTB.
+
+The predecoder reads ground truth from the static CFG — in hardware it
+reads the same facts from the instruction bytes themselves, which is why
+this path needs no metadata.
+"""
+
+from __future__ import annotations
+
+from ..branch.btb import BTBEntry
+from ..config import INSTR_BYTES
+from ..workloads.cfg import ControlFlowGraph, StaticBlock
+from ..workloads.isa import BranchKind
+
+
+def _entry_for(block: StaticBlock) -> BTBEntry:
+    """Natural BTB entry of a static basic block."""
+    target = 0 if block.kind == BranchKind.RET else block.target
+    return BTBEntry(n_instrs=block.n_instrs, kind=int(block.kind), target=target)
+
+
+def predecode_block(cfg: ControlFlowGraph, cache_block: int) -> list[tuple[int, BTBEntry]]:
+    """All (bb_start, entry) pairs for branches inside ``cache_block``.
+
+    This is Confluence's bulk-fill view of one block.
+    """
+    return [(blk.start, _entry_for(blk)) for blk in cfg.branches_in_cache_block(cache_block)]
+
+
+def find_terminating_branch(
+    cfg: ControlFlowGraph, cache_block: int, from_pc: int
+) -> StaticBlock | None:
+    """First branch at/after ``from_pc`` within ``cache_block``, if any.
+
+    ``None`` tells Boomerang's miss state machine to probe the next
+    sequential block (paper step 3b).
+    """
+    for blk in cfg.branches_in_cache_block(cache_block):
+        if blk.branch_pc >= from_pc:
+            return blk
+    return None
+
+
+def boomerang_fill(
+    cfg: ControlFlowGraph, cache_block: int, miss_pc: int
+) -> tuple[tuple[int, BTBEntry] | None, list[tuple[int, BTBEntry]]]:
+    """Boomerang predecode step for one block.
+
+    Returns ``(terminating, others)`` where ``terminating`` is the entry
+    that resolves the BTB miss at ``miss_pc`` (keyed at ``miss_pc``, sized
+    from ``miss_pc`` to the found branch) or ``None`` if the block holds no
+    branch at/after ``miss_pc``; ``others`` are the block's remaining
+    branch entries, destined for the BTB prefetch buffer.
+    """
+    branches = cfg.branches_in_cache_block(cache_block)
+    terminator: StaticBlock | None = None
+    for blk in branches:
+        if blk.branch_pc >= miss_pc:
+            terminator = blk
+            break
+    others = [
+        (blk.start, _entry_for(blk))
+        for blk in branches
+        if terminator is None or blk.branch_pc != terminator.branch_pc
+    ]
+    if terminator is None:
+        return None, others
+    n_instrs = (terminator.branch_pc - miss_pc) // INSTR_BYTES + 1
+    target = 0 if terminator.kind == BranchKind.RET else terminator.target
+    entry = BTBEntry(n_instrs=n_instrs, kind=int(terminator.kind), target=target)
+    return (miss_pc, entry), others

@@ -1,0 +1,25 @@
+"""Memory-system substrate: caches, prefetch buffer, NoC and hierarchy."""
+
+from .cache import SetAssocCache
+from .hierarchy import InstructionMemory
+from .noc import (
+    CrossbarNoC,
+    MeshNoC,
+    average_round_trip,
+    make_noc,
+    mesh_average_hops,
+    one_way_latency,
+)
+from .prefetch_buffer import PrefetchBuffer
+
+__all__ = [
+    "CrossbarNoC",
+    "InstructionMemory",
+    "MeshNoC",
+    "PrefetchBuffer",
+    "SetAssocCache",
+    "average_round_trip",
+    "make_noc",
+    "mesh_average_hops",
+    "one_way_latency",
+]

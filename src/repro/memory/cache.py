@@ -1,0 +1,85 @@
+"""Set-associative LRU cache over cache-block numbers.
+
+The simulator tracks instruction blocks by *block number* (address >> 6);
+this structure answers presence questions and maintains true LRU per set.
+Used for both the L1-I and the LLC.
+"""
+
+from __future__ import annotations
+
+from ..config import CacheParams
+
+
+class SetAssocCache:
+    """LRU set-associative cache of block numbers.
+
+    Each set is a dict used as an ordered set: insertion order is LRU order
+    (oldest first); a touch re-inserts at the back.
+    """
+
+    def __init__(self, params: CacheParams):
+        self.params = params
+        self._n_sets = params.n_sets
+        self._set_mask = params.n_sets - 1
+        self._assoc = params.assoc
+        self._sets: list[dict[int, None]] = [dict() for _ in range(self._n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, block: int) -> bool:
+        """Presence check that updates LRU and hit/miss counters."""
+        way = self._sets[block & self._set_mask]
+        if block in way:
+            del way[block]
+            way[block] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, block: int) -> bool:
+        """Presence check with no LRU or counter side effects."""
+        return block in self._sets[block & self._set_mask]
+
+    def insert(self, block: int) -> int | None:
+        """Install ``block``; returns the evicted block number, if any."""
+        way = self._sets[block & self._set_mask]
+        if block in way:
+            del way[block]
+            way[block] = None
+            return None
+        victim = None
+        if len(way) >= self._assoc:
+            victim = next(iter(way))
+            del way[victim]
+            self.evictions += 1
+        way[block] = None
+        return victim
+
+    def invalidate(self, block: int) -> bool:
+        """Remove ``block`` if present; returns whether it was present."""
+        way = self._sets[block & self._set_mask]
+        if block in way:
+            del way[block]
+            return True
+        return False
+
+    def occupancy(self) -> int:
+        """Total blocks currently resident."""
+        return sum(len(way) for way in self._sets)
+
+    def resident_blocks(self) -> set[int]:
+        """Snapshot of all resident block numbers (test/debug helper)."""
+        resident: set[int] = set()
+        for way in self._sets:
+            resident.update(way)
+        return resident
+
+    def reset(self) -> None:
+        """Empty the cache and zero the counters."""
+        for way in self._sets:
+            way.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0

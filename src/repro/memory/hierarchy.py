@@ -1,0 +1,174 @@
+"""Instruction-side memory hierarchy with in-flight fill tracking.
+
+Ties together the L1-I, its FIFO prefetch buffer, a shared-LLC model and
+DRAM into the three request paths the front-end uses:
+
+* **demand fetch** (:meth:`InstructionMemory.demand_access`) — may stall the
+  fetch engine until the fill returns,
+* **prefetch probe** (:meth:`InstructionMemory.prefetch_probe`) — fire and
+  forget; fills land in the prefetch buffer,
+* **block read for predecode** (:meth:`InstructionMemory.data_ready`) — used
+  by Boomerang's BTB miss probes; also fills the prefetch buffer.
+
+A demand access that finds its block already in flight (e.g. prefetched but
+not yet arrived) is *merged* onto the outstanding fill, which is exactly the
+partial-coverage effect the paper's stall-cycles-covered metric is chosen to
+capture.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..config import MemoryParams
+from .cache import SetAssocCache
+from .noc import average_round_trip
+from .prefetch_buffer import PrefetchBuffer
+
+#: In-flight fill destinations.
+_DEST_L1I = 0
+_DEST_PB = 1
+
+
+class InstructionMemory:
+    """L1-I + prefetch buffer + LLC + DRAM timing model."""
+
+    def __init__(self, params: MemoryParams, perfect: bool = False):
+        self.params = params
+        self.perfect = perfect
+        self.l1i = SetAssocCache(params.l1i)
+        self.pb = PrefetchBuffer(params.prefetch_buffer_entries)
+        self.llc = SetAssocCache(params.llc)
+        if params.llc_round_trip_override is not None:
+            self.llc_round_trip = params.llc_round_trip_override
+        else:
+            self.llc_round_trip = average_round_trip(params.noc, params.llc.hit_latency)
+        self.memory_latency = params.memory_latency
+
+        #: block -> [ready_cycle, dest]
+        self._inflight: dict[int, list[int]] = {}
+        self._arrivals: list[tuple[int, int]] = []  # heap of (ready, block)
+
+        # Counters (collected by the engine into the run's StatGroup).
+        self.demand_accesses = 0
+        self.demand_misses = 0
+        self.demand_merged = 0
+        self.pb_promotions = 0
+        self.prefetches_issued = 0
+        self.predecode_fetches = 0
+        self.llc_misses_to_memory = 0
+
+    def _fill_latency(self, block: int, now: int) -> int:
+        """LLC (or DRAM) latency for one fill; installs into the LLC.
+
+        Outstanding fills beyond the contention-free window queue behind
+        each other — the bandwidth cost that makes wasteful prefetch bursts
+        delay useful blocks (paper Section VI-E1).
+        """
+        excess = len(self._inflight) - self.params.llc_contention_free
+        contention = self.params.llc_contention_penalty * excess if excess > 0 else 0
+        if self.llc.lookup(block):
+            return self.llc_round_trip + contention
+        self.llc.insert(block)
+        self.llc_misses_to_memory += 1
+        return self.llc_round_trip + self.memory_latency + contention
+
+    def drain_arrivals(self, now: int) -> list[int]:
+        """Install fills whose latency elapsed; returns arrived block numbers.
+
+        Must be called once per cycle before new requests are made. Arrived
+        blocks are reported so predecode-on-fill mechanisms (Confluence) can
+        hook them.
+        """
+        arrived: list[int] = []
+        heap = self._arrivals
+        while heap and heap[0][0] <= now:
+            _, block = heapq.heappop(heap)
+            entry = self._inflight.pop(block, None)
+            if entry is None:
+                continue  # superseded (e.g. duplicate arrival after upgrade)
+            if entry[1] == _DEST_L1I:
+                self.l1i.insert(block)
+            else:
+                self.pb.insert(block)
+            arrived.append(block)
+        return arrived
+
+    def demand_access(self, block: int, now: int) -> int:
+        """Demand-fetch ``block``; returns the cycle its data is available."""
+        self.demand_accesses += 1
+        if self.perfect:
+            return now
+        if self.l1i.lookup(block):
+            return now
+        if self.pb.promote(block):
+            self.l1i.insert(block)
+            self.pb_promotions += 1
+            return now
+        inflight = self._inflight.get(block)
+        if inflight is not None:
+            inflight[1] = _DEST_L1I  # upgrade: install straight into the L1-I
+            self.demand_merged += 1
+            return inflight[0]
+        self.demand_misses += 1
+        ready = now + self._fill_latency(block, now)
+        self._inflight[block] = [ready, _DEST_L1I]
+        heapq.heappush(self._arrivals, (ready, block))
+        return ready
+
+    def prefetch_probe(self, block: int, now: int, extra_delay: int = 0) -> bool:
+        """FDIP-style probe: fetch ``block`` into the prefetch buffer if absent.
+
+        Returns True when a fill was actually issued (block was missing and
+        not already in flight). ``extra_delay`` models metadata-access delay
+        in front of the fill (SHIFT's LLC-resident history).
+        """
+        if self.perfect:
+            return False
+        if self.l1i.contains(block) or block in self.pb or block in self._inflight:
+            return False
+        self.prefetches_issued += 1
+        ready = now + extra_delay + self._fill_latency(block, now)
+        self._inflight[block] = [ready, _DEST_PB]
+        heapq.heappush(self._arrivals, (ready, block))
+        return True
+
+    def data_ready(self, block: int, now: int) -> int:
+        """Cycle at which the raw bytes of ``block`` can be predecoded.
+
+        Present blocks are readable immediately; absent blocks are fetched
+        into the prefetch buffer (Boomerang's BTB miss probe path).
+        """
+        if self.perfect:
+            return now
+        if self.l1i.contains(block) or block in self.pb:
+            return now
+        inflight = self._inflight.get(block)
+        if inflight is not None:
+            return inflight[0]
+        self.predecode_fetches += 1
+        ready = now + self._fill_latency(block, now)
+        self._inflight[block] = [ready, _DEST_PB]
+        heapq.heappush(self._arrivals, (ready, block))
+        return ready
+
+    def is_resident_or_inflight(self, block: int) -> bool:
+        """True if a BTB miss probe for ``block`` would hit locally."""
+        return (
+            self.l1i.contains(block)
+            or block in self.pb
+            or block in self._inflight
+        )
+
+    def counters(self) -> dict[str, int]:
+        """Raw counter snapshot (engine subtracts warmup baselines)."""
+        return {
+            "l1i_demand_accesses": self.demand_accesses,
+            "l1i_demand_misses": self.demand_misses,
+            "l1i_demand_merged": self.demand_merged,
+            "l1i_pb_promotions": self.pb_promotions,
+            "l1i_prefetches_issued": self.prefetches_issued,
+            "predecode_fetches": self.predecode_fetches,
+            "llc_misses_to_memory": self.llc_misses_to_memory,
+            "pb_evictions": self.pb.evictions,
+        }

@@ -1,0 +1,71 @@
+"""On-chip interconnect latency models.
+
+The paper's 16-core CMP reaches its NUCA LLC over a 4x4 2D mesh at 3
+cycles/hop, yielding an *average* LLC round trip of ~30 cycles; Section
+VI-E2 swaps in a wide crossbar at an 18-cycle round trip. Both reductions
+treat the NoC as a scalar latency — exactly what these models compute.
+"""
+
+from __future__ import annotations
+
+from ..config import NoCParams
+
+
+def mesh_average_hops(dim: int) -> float:
+    """Average Manhattan distance between two uniform-random tiles.
+
+    For an ``dim x dim`` mesh this is ``2*(dim^2-1)/(3*dim)`` hops.
+    """
+    if dim < 1:
+        raise ValueError("mesh dimension must be >= 1")
+    return 2.0 * (dim * dim - 1) / (3.0 * dim)
+
+
+def one_way_latency(params: NoCParams) -> float:
+    """Average one-way traversal latency in cycles."""
+    if params.kind == "crossbar":
+        return params.crossbar_round_trip / 2.0
+    hops = mesh_average_hops(params.mesh_dim)
+    return hops * params.cycles_per_hop + params.router_latency + params.serialization
+
+
+def average_round_trip(params: NoCParams, llc_hit_latency: int) -> int:
+    """Average L1-miss-to-fill round trip for an LLC hit, in cycles."""
+    if params.kind == "crossbar":
+        return params.crossbar_round_trip + llc_hit_latency
+    return int(round(2 * one_way_latency(params) + llc_hit_latency))
+
+
+class MeshNoC:
+    """4x4-style 2D mesh latency model (paper Table I)."""
+
+    def __init__(self, params: NoCParams):
+        if params.kind != "mesh":
+            raise ValueError("MeshNoC requires mesh NoCParams")
+        self.params = params
+
+    @property
+    def average_hops(self) -> float:
+        return mesh_average_hops(self.params.mesh_dim)
+
+    def round_trip(self, llc_hit_latency: int) -> int:
+        return average_round_trip(self.params, llc_hit_latency)
+
+
+class CrossbarNoC:
+    """Wide-crossbar latency model (paper Section VI-E2)."""
+
+    def __init__(self, params: NoCParams):
+        if params.kind != "crossbar":
+            raise ValueError("CrossbarNoC requires crossbar NoCParams")
+        self.params = params
+
+    def round_trip(self, llc_hit_latency: int) -> int:
+        return average_round_trip(self.params, llc_hit_latency)
+
+
+def make_noc(params: NoCParams) -> MeshNoC | CrossbarNoC:
+    """Instantiate the latency model matching ``params.kind``."""
+    if params.kind == "mesh":
+        return MeshNoC(params)
+    return CrossbarNoC(params)

@@ -1,0 +1,55 @@
+"""FIFO prefetch buffer in front of the L1-I.
+
+Prefetched blocks land here instead of the L1-I proper so that wrong or
+untimely prefetches cannot pollute the cache (paper Section IV-A). A demand
+hit *promotes* the block into the L1-I; capacity pressure evicts the oldest
+resident ("replaced in a first-in-first-out manner").
+"""
+
+from __future__ import annotations
+
+
+class PrefetchBuffer:
+    """Fixed-capacity FIFO buffer of prefetched block numbers."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("prefetch buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._blocks: dict[int, None] = {}
+        self.inserts = 0
+        self.promotions = 0
+        self.evictions = 0
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def insert(self, block: int) -> int | None:
+        """Add an arriving prefetch fill; returns the evicted block, if any."""
+        if block in self._blocks:
+            return None
+        victim = None
+        if len(self._blocks) >= self.capacity:
+            victim = next(iter(self._blocks))
+            del self._blocks[victim]
+            self.evictions += 1
+        self._blocks[block] = None
+        self.inserts += 1
+        return victim
+
+    def promote(self, block: int) -> bool:
+        """Remove ``block`` on a demand hit (caller installs it in the L1-I)."""
+        if block in self._blocks:
+            del self._blocks[block]
+            self.promotions += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._blocks.clear()
+        self.inserts = 0
+        self.promotions = 0
+        self.evictions = 0

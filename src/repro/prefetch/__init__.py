@@ -1,0 +1,15 @@
+"""L1-I prefetchers: next-line, DIP, and temporal streamers (PIF/SHIFT)."""
+
+from .base import InstructionPrefetcher
+from .dip import DiscontinuityPrefetcher
+from .next_line import NextLinePrefetcher
+from .stream import PIFPrefetcher, SHIFTPrefetcher, TemporalStreamPrefetcher
+
+__all__ = [
+    "DiscontinuityPrefetcher",
+    "InstructionPrefetcher",
+    "NextLinePrefetcher",
+    "PIFPrefetcher",
+    "SHIFTPrefetcher",
+    "TemporalStreamPrefetcher",
+]

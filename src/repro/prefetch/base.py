@@ -1,0 +1,78 @@
+"""Event-driven L1-I prefetcher interface.
+
+These prefetchers observe the demand-fetch stream (and, for temporal
+streamers, the retire stream) and emit candidate cache blocks; the engine
+issues at most one prefetch probe per cycle from the emission queue,
+honouring Boomerang's L1-I request priority (demand > BTB-miss probe >
+prefetch probe).
+
+FDIP and Boomerang do not use this interface — their prefetching is the
+FTQ-scanning prefetch engine inside the core (see ``repro.core.engine``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class InstructionPrefetcher:
+    """Base class: event hooks plus a ready-time-ordered emission queue."""
+
+    name = "base"
+
+    #: Re-emission of the same block is suppressed within this many cycles
+    #: (roughly one LLC round trip: long enough to cover the in-flight fill,
+    #: short enough that recurring blocks can be prefetched again later).
+    DEDUP_CYCLES = 32
+
+    def __init__(self, dedup_window: int = 64):
+        self._queue: deque[tuple[int, int]] = deque()  # (ready_cycle, block)
+        self._recent: dict[int, int] = {}  # block -> last emission cycle
+        self._recent_cap = dedup_window
+
+    # -- event hooks (no-ops by default) -------------------------------------
+
+    def on_fetch_block(self, block: int, now: int, prev_block: int, discontinuity: bool) -> None:
+        """Demand fetch moved to a new cache block."""
+
+    def on_demand_miss(self, block: int, now: int, prev_block: int, discontinuity: bool) -> None:
+        """Demand fetch missed the L1-I (and prefetch buffer)."""
+
+    def on_retired_block(self, block: int, now: int) -> None:
+        """A correct-path instruction block retired (temporal streamers)."""
+
+    # -- emission -------------------------------------------------------------
+
+    def _emit(self, block: int, ready: int) -> None:
+        """Queue ``block`` for probing at/after ``ready`` (deduplicated).
+
+        Deduplication is time-windowed: a block emitted recently (its fill
+        is still in flight or fresh) is suppressed; older emissions do not
+        block re-prefetching recurring code.
+        """
+        last = self._recent.get(block)
+        if last is not None and ready - last < self.DEDUP_CYCLES:
+            return
+        if last is not None:
+            del self._recent[block]
+        elif len(self._recent) >= self._recent_cap:
+            del self._recent[next(iter(self._recent))]
+        self._recent[block] = ready
+        self._queue.append((ready, block))
+
+    def next_prefetch(self, now: int) -> int | None:
+        """Pop the next probe-ready block, or None this cycle."""
+        if not self._queue:
+            return None
+        ready, block = self._queue[0]
+        if ready > now:
+            return None
+        self._queue.popleft()
+        return block
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def storage_bits(self) -> int:
+        """Dedicated metadata budget in bits."""
+        return 0

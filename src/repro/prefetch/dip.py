@@ -1,0 +1,56 @@
+"""Discontinuity Instruction Prefetcher (Spracklen et al., HPCA'05).
+
+Records control-flow discontinuities that caused L1-I misses in a
+prediction table: on a miss at block M reached discontinuously from block
+P, the table learns P -> M. Later demand accesses to P prefetch M. Paired
+(per the paper's methodology, Section V-A) with a next-2-line prefetcher
+for the sequential class the table cannot cover.
+"""
+
+from __future__ import annotations
+
+from .base import InstructionPrefetcher
+
+
+class DiscontinuityPrefetcher(InstructionPrefetcher):
+    """8K-entry discontinuity table + next-N-line sequential helper."""
+
+    name = "dip"
+
+    #: Bits per table entry: trigger-block tag + target block address.
+    _ENTRY_BITS = 2 * 40
+
+    def __init__(self, table_entries: int = 8192, next_line_degree: int = 2):
+        super().__init__()
+        if table_entries < 1:
+            raise ValueError("DIP table needs at least one entry")
+        self.table_entries = table_entries
+        self.next_line_degree = next_line_degree
+        #: LRU map: trigger block -> discontinuous successor block.
+        self._table: dict[int, int] = {}
+        self.table_hits = 0
+        self.table_inserts = 0
+
+    def on_fetch_block(self, block: int, now: int, prev_block: int, discontinuity: bool) -> None:
+        target = self._table.get(block)
+        if target is not None:
+            # LRU touch.
+            del self._table[block]
+            self._table[block] = target
+            self.table_hits += 1
+            self._emit(target, now)
+        for offset in range(1, self.next_line_degree + 1):
+            self._emit(block + offset, now)
+
+    def on_demand_miss(self, block: int, now: int, prev_block: int, discontinuity: bool) -> None:
+        if not discontinuity or prev_block < 0:
+            return
+        if prev_block in self._table:
+            del self._table[prev_block]
+        elif len(self._table) >= self.table_entries:
+            del self._table[next(iter(self._table))]
+        self._table[prev_block] = block
+        self.table_inserts += 1
+
+    def storage_bits(self) -> int:
+        return self.table_entries * self._ENTRY_BITS

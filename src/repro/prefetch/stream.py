@@ -1,0 +1,183 @@
+"""Temporal-stream machinery shared by PIF and SHIFT.
+
+Temporal streaming records the sequence of instruction-block accesses of
+the retire stream into a circular history buffer, with an index table
+mapping a block to its most recent history position. When the observed
+retire stream departs from the current replay position, the index is
+consulted to re-locate the stream; blocks ahead of the replay pointer are
+prefetched (the *lookahead* window).
+
+PIF keeps this metadata in dedicated per-core SRAM (fast but >200 KB);
+SHIFT virtualizes it into the LLC, so stream *redirects* pay an LLC round
+trip before replay resumes — the timing difference behind Figure 8's
+Boomerang-vs-Confluence redirect behaviour.
+"""
+
+from __future__ import annotations
+
+from .base import InstructionPrefetcher
+
+
+class TemporalStreamPrefetcher(InstructionPrefetcher):
+    """Retire-stream temporal streaming with an index-located replay pointer."""
+
+    name = "stream"
+
+    #: Bits per history record (block address) and per index entry.
+    _HISTORY_RECORD_BITS = 40
+    _INDEX_ENTRY_BITS = 40 + 18
+
+    def __init__(
+        self,
+        history_entries: int = 32768,
+        index_entries: int = 8192,
+        lookahead: int = 6,
+        redirect_delay: int = 0,
+    ):
+        super().__init__(dedup_window=32)
+        if history_entries < 2:
+            raise ValueError("history needs at least two records")
+        if lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+        self.history_entries = history_entries
+        self.index_entries = index_entries
+        self.lookahead = lookahead
+        #: Extra cycles before prefetches can issue after a stream redirect
+        #: (SHIFT's LLC metadata access; 0 for PIF's private SRAM).
+        self.redirect_delay = redirect_delay
+
+        self._history: list[int] = []
+        self._base = 0  # absolute position of _history[0]
+        #: block -> (previous, latest) absolute history positions. Two-deep
+        #: so a redirect can replay the *previous* traversal when the latest
+        #: occurrence is too close to the recording frontier to have a
+        #: future worth replaying.
+        self._index: dict[int, tuple[int, int]] = {}
+        self._last_recorded: int = -1
+        self._replay_pos: int | None = None
+        self._emitted_to: int = 0
+
+        self.redirects = 0
+        self.in_stream_advances = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def _record(self, block: int) -> None:
+        if block == self._last_recorded:
+            return
+        position = self._base + len(self._history)
+        self._history.append(block)
+        self._last_recorded = block
+        previous = self._index.pop(block, None)
+        if previous is None:
+            if len(self._index) >= self.index_entries:
+                del self._index[next(iter(self._index))]
+            self._index[block] = (-1, position)
+        else:
+            self._index[block] = (previous[1], position)
+        # Bound memory: keep at most 2x the modelled capacity, dropping the
+        # oldest half (their index entries become stale and are validated on
+        # use).
+        if len(self._history) > 2 * self.history_entries:
+            drop = len(self._history) - self.history_entries
+            self._history = self._history[drop:]
+            self._base += drop
+
+    def _history_at(self, position: int) -> int | None:
+        offset = position - self._base
+        if 0 <= offset < len(self._history):
+            return self._history[offset]
+        return None
+
+    # -- replay ---------------------------------------------------------------
+
+    #: Positions the replay pointer may skip forward to re-synchronize;
+    #: models PIF's spatial-region tolerance of small path variation
+    #: (an exact-sequence matcher would redirect on every skipped block).
+    _SKIP_TOLERANCE = 8
+
+    def on_retired_block(self, block: int, now: int) -> None:
+        if block == self._last_recorded:
+            return  # consecutive duplicate: same block, nothing new to match
+        pos = self._replay_pos
+        matched = False
+        if pos is not None:
+            limit = min(pos + self._SKIP_TOLERANCE, self._base + len(self._history))
+            for probe in range(pos, limit):
+                if self._history_at(probe) == block:
+                    self._replay_pos = probe + 1
+                    self.in_stream_advances += 1
+                    self._prefetch_window(now)
+                    matched = True
+                    break
+        if not matched:
+            occurrences = self._index.get(block)
+            target = None
+            if occurrences is not None:
+                frontier = self._base + len(self._history)
+                prev_pos, latest = occurrences
+                # Prefer the latest occurrence, but only if enough stream
+                # was recorded after it to be worth replaying.
+                if frontier - latest >= self.lookahead:
+                    target = latest
+                elif prev_pos >= self._base:
+                    target = prev_pos
+                elif latest >= self._base:
+                    target = latest
+            if target is not None and target >= self._base:
+                self._replay_pos = target + 1
+                self._emitted_to = self._replay_pos
+                self.redirects += 1
+                self._prefetch_window(now + self.redirect_delay, redirected=True)
+            else:
+                self._replay_pos = None
+        self._record(block)
+
+    def _prefetch_window(self, ready: int, redirected: bool = False) -> None:
+        pos = self._replay_pos
+        if pos is None:
+            return
+        if redirected:
+            self._emitted_to = pos
+        start = max(pos, self._emitted_to)
+        end = pos + self.lookahead
+        for position in range(start, end):
+            block = self._history_at(position)
+            if block is None:
+                break
+            self._emit(block, ready)
+        self._emitted_to = max(self._emitted_to, min(end, self._base + len(self._history)))
+
+    def storage_bits(self) -> int:
+        return (
+            self.history_entries * self._HISTORY_RECORD_BITS
+            + self.index_entries * self._INDEX_ENTRY_BITS
+        )
+
+
+class PIFPrefetcher(TemporalStreamPrefetcher):
+    """Proactive Instruction Fetch: private (per-core) stream metadata."""
+
+    name = "pif"
+
+    def __init__(self, history_entries: int = 32768, index_entries: int = 8192,
+                 lookahead: int = 6):
+        super().__init__(history_entries, index_entries, lookahead, redirect_delay=0)
+
+
+class SHIFTPrefetcher(TemporalStreamPrefetcher):
+    """SHIFT: stream metadata virtualized into the LLC and shared.
+
+    Functionally PIF with two differences modelled here: every stream
+    redirect pays the LLC round trip before prefetching resumes, and the
+    dedicated storage is charged once per *workload* rather than per core
+    (accounted in :mod:`repro.analysis.storage`).
+    """
+
+    name = "shift"
+
+    def __init__(self, history_entries: int = 32768, index_entries: int = 8192,
+                 lookahead: int = 6, llc_round_trip: int = 30):
+        super().__init__(
+            history_entries, index_entries, lookahead, redirect_delay=llc_round_trip
+        )

@@ -1,0 +1,104 @@
+"""Lightweight statistics counters shared by all simulated components.
+
+The simulator favours plain integer attributes on hot paths; this module
+provides the aggregation/reporting layer on top of them: a ``StatGroup``
+maps names to integer/float values and supports merging, ratios and pretty
+printing for the experiment tables.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+
+class StatGroup:
+    """A named bag of numeric statistics.
+
+    Behaves like a ``dict[str, float]`` with convenience arithmetic. Missing
+    keys read as zero, which keeps reporting code free of ``.get`` noise.
+    """
+
+    def __init__(self, name: str = "", values: Mapping[str, float] | None = None):
+        self.name = name
+        self._values: dict[str, float] = dict(values or {})
+
+    def __getitem__(self, key: str) -> float:
+        return self._values.get(key, 0)
+
+    def __setitem__(self, key: str, value: float) -> None:
+        self._values[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __iter__(self):
+        return iter(sorted(self._values))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def add(self, key: str, amount: float = 1) -> None:
+        """Increment ``key`` by ``amount`` (creating it at zero)."""
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def merge(self, other: "StatGroup" | Mapping[str, float]) -> "StatGroup":
+        """Accumulate another group's values into this one; returns self."""
+        items = other._values.items() if isinstance(other, StatGroup) else other.items()
+        for key, value in items:
+            self.add(key, value)
+        return self
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Safe ratio of two counters (0.0 when the denominator is zero)."""
+        denom = self._values.get(denominator, 0)
+        if not denom:
+            return 0.0
+        return self._values.get(numerator, 0) / denom
+
+    def per_kilo(self, numerator: str, denominator: str) -> float:
+        """``numerator`` per 1000 units of ``denominator``."""
+        return 1000.0 * self.ratio(numerator, denominator)
+
+    def as_dict(self) -> dict[str, float]:
+        """A copy of the underlying mapping."""
+        return dict(self._values)
+
+    def subset(self, prefix: str) -> "StatGroup":
+        """A new group with only the keys starting with ``prefix``."""
+        picked = {k: v for k, v in self._values.items() if k.startswith(prefix)}
+        return StatGroup(f"{self.name}:{prefix}" if self.name else prefix, picked)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={self._values[k]:g}" for k in sorted(self._values))
+        return f"StatGroup({self.name!r}, {{{inner}}})"
+
+
+def weighted_mean(pairs: Iterable[tuple[float, float]]) -> float:
+    """Mean of ``value`` weighted by ``weight`` over ``(value, weight)`` pairs."""
+    total = 0.0
+    weight_sum = 0.0
+    for value, weight in pairs:
+        total += value * weight
+        weight_sum += weight
+    if weight_sum == 0:
+        return 0.0
+    return total / weight_sum
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; the conventional average for speedups.
+
+    Raises ``ValueError`` on non-positive inputs since a speedup of zero or
+    below indicates a broken measurement rather than a slow one.
+    """
+    log_sum = 0.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value}")
+        log_sum += math.log(value)
+        count += 1
+    if count == 0:
+        return 0.0
+    return math.exp(log_sum / count)

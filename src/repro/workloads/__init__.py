@@ -1,0 +1,75 @@
+"""Synthetic server workloads: profiles, CFG builder and trace walker.
+
+This subpackage substitutes for the paper's Flexus-captured commercial
+workloads (see DESIGN.md section 2). The public surface is:
+
+* :func:`load_workload` / :class:`Workload` — build a ready-to-simulate
+  workload from a named profile,
+* :data:`ALL_PROFILES`, :func:`get_profile` — the six Table II equivalents,
+* :class:`ControlFlowGraph` / :func:`build_cfg` — the static program model,
+* :func:`generate_trace` / :class:`Trace` — deterministic dynamic traces.
+"""
+
+from .builder import build_cfg, reachable_blocks
+from .cfg import ControlFlowGraph, Function, StaticBlock
+from .isa import BranchKind, EntryKind
+from .profiles import (
+    ALL_PROFILES,
+    APACHE,
+    DB2,
+    NUTCH,
+    ORACLE,
+    STREAMING,
+    ZEUS,
+    WorkloadProfile,
+    get_profile,
+    profile_names,
+)
+from .trace import (
+    REC_ENTRY,
+    REC_KIND,
+    REC_NEXT,
+    REC_NINSTR,
+    REC_START,
+    REC_TAKEN,
+    Trace,
+    TraceSummary,
+    generate_trace,
+    summarize,
+    taken_conditional_distances,
+)
+from .workload import Workload, clear_workload_cache, load_workload
+
+__all__ = [
+    "ALL_PROFILES",
+    "APACHE",
+    "DB2",
+    "NUTCH",
+    "ORACLE",
+    "STREAMING",
+    "ZEUS",
+    "BranchKind",
+    "ControlFlowGraph",
+    "EntryKind",
+    "Function",
+    "StaticBlock",
+    "Trace",
+    "TraceSummary",
+    "Workload",
+    "WorkloadProfile",
+    "REC_ENTRY",
+    "REC_KIND",
+    "REC_NEXT",
+    "REC_NINSTR",
+    "REC_START",
+    "REC_TAKEN",
+    "build_cfg",
+    "clear_workload_cache",
+    "generate_trace",
+    "get_profile",
+    "load_workload",
+    "profile_names",
+    "reachable_blocks",
+    "summarize",
+    "taken_conditional_distances",
+]

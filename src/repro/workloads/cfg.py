@@ -1,0 +1,215 @@
+"""Static control-flow graph of a synthetic program.
+
+A program is a contiguous code layout of *functions*, each a contiguous run
+of *basic blocks*. A basic block is a straight-line instruction sequence
+whose final instruction is a branch (the paper's — and Yeh & Patt's —
+basic-block-BTB definition). The CFG carries both the structural facts the
+front-end hardware can observe (addresses, branch kinds, primary targets)
+and the behavioural model the trace walker uses (branch biases, loop trip
+counts, indirect target sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import INSTR_BYTES
+from ..errors import WorkloadError
+from .isa import BranchKind, block_of
+
+
+@dataclass(frozen=True)
+class StaticBlock:
+    """One basic block: layout plus the behaviour of its terminating branch.
+
+    ``target`` is the *primary* static target: the taken target for direct
+    branches, the most likely target for indirect branches, and ``0`` for
+    returns (whose target comes from the call stack).
+    """
+
+    start: int
+    n_instrs: int
+    kind: BranchKind
+    target: int
+    func_id: int
+    #: P(taken) for Bernoulli conditional branches (ignored for loops/patterns).
+    bias: float = 0.5
+    #: Mean trip count when this is a loop back-edge branch (0 = not a loop).
+    loop_mean: float = 0.0
+    #: (target_pc, weight) alternatives for indirect branches.
+    indirect_targets: tuple[tuple[int, float], ...] = ()
+    #: History-correlated branches: outcome copies (or inverts) the most
+    #: recent outcome of the branch terminating the block at ``corr_src``.
+    #: These model re-tests of the same condition along a path — visible in
+    #: recent global history, so TAGE learns them and a bimodal counter
+    #: only sees the marginal distribution.
+    corr_src: int = 0
+    corr_invert: bool = False
+
+    @property
+    def branch_pc(self) -> int:
+        """Address of the terminating branch instruction."""
+        return self.start + (self.n_instrs - 1) * INSTR_BYTES
+
+    @property
+    def fallthrough(self) -> int:
+        """Address of the instruction after the terminating branch."""
+        return self.start + self.n_instrs * INSTR_BYTES
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_instrs * INSTR_BYTES
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.kind == BranchKind.COND
+
+    @property
+    def is_loop(self) -> bool:
+        return self.kind == BranchKind.COND and self.loop_mean > 0
+
+
+@dataclass(frozen=True)
+class Function:
+    """A contiguous run of basic blocks with a single entry."""
+
+    func_id: int
+    name: str
+    entry: int
+    layer: int
+    block_starts: tuple[int, ...]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.block_starts)
+
+
+@dataclass
+class ControlFlowGraph:
+    """The full static program: blocks, functions, and derived indexes."""
+
+    blocks: dict[int, StaticBlock]
+    functions: list[Function]
+    entry: int
+    name: str = "synthetic"
+    #: Populated lazily: cache-block number -> blocks whose branch lies there.
+    _branch_map: dict[int, list[StaticBlock]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._branch_map = {}
+        for blk in self.blocks.values():
+            self._branch_map.setdefault(block_of(blk.branch_pc), []).append(blk)
+        for entries in self._branch_map.values():
+            entries.sort(key=lambda b: b.branch_pc)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def code_bytes(self) -> int:
+        """Total laid-out code footprint in bytes."""
+        if not self.blocks:
+            return 0
+        last = max(self.blocks.values(), key=lambda b: b.start)
+        first = min(b.start for b in self.blocks.values())
+        return last.fallthrough - first
+
+    @property
+    def n_static_branches(self) -> int:
+        """Every basic block ends in exactly one branch."""
+        return len(self.blocks)
+
+    def block_at(self, pc: int) -> StaticBlock:
+        try:
+            return self.blocks[pc]
+        except KeyError:
+            raise WorkloadError(f"no basic block starts at {pc:#x}") from None
+
+    def branches_in_cache_block(self, cache_block: int) -> list[StaticBlock]:
+        """Blocks whose terminating branch lies in ``cache_block``.
+
+        This is what a hardware predecoder can extract from the raw bytes of
+        one fetched cache block (branch opcodes encode kind and offset). The
+        result is sorted by branch address.
+        """
+        return self._branch_map.get(cache_block, [])
+
+    def function_of(self, func_id: int) -> Function:
+        return self.functions[func_id]
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`WorkloadError`.
+
+        Invariants: positive block sizes; fall-throughs of conditional
+        branches and calls land on block starts; direct targets land on
+        block starts; calls target function entries; indirect branches
+        carry a non-empty, positively-weighted target set that includes
+        the primary target.
+        """
+        if self.entry not in self.blocks:
+            raise WorkloadError(f"entry {self.entry:#x} is not a block start")
+        starts = set(self.blocks)
+        for blk in self.blocks.values():
+            if blk.n_instrs < 1:
+                raise WorkloadError(f"block {blk.start:#x} has no instructions")
+            if blk.kind in (BranchKind.COND, BranchKind.CALL, BranchKind.IND_CALL):
+                if blk.fallthrough not in starts:
+                    raise WorkloadError(
+                        f"block {blk.start:#x} ({blk.kind.name}) falls through to "
+                        f"{blk.fallthrough:#x}, which is not a block start"
+                    )
+            if blk.kind in (BranchKind.COND, BranchKind.JUMP, BranchKind.CALL):
+                if blk.target not in starts:
+                    raise WorkloadError(
+                        f"block {blk.start:#x} targets {blk.target:#x}, "
+                        "which is not a block start"
+                    )
+            if blk.kind == BranchKind.CALL:
+                if not any(f.entry == blk.target for f in self.functions):
+                    raise WorkloadError(
+                        f"call at {blk.branch_pc:#x} targets non-entry {blk.target:#x}"
+                    )
+            if blk.kind in (BranchKind.IND_CALL, BranchKind.IND_JUMP):
+                if not blk.indirect_targets:
+                    raise WorkloadError(
+                        f"indirect branch at {blk.branch_pc:#x} has no target set"
+                    )
+                for tgt, weight in blk.indirect_targets:
+                    if tgt not in starts:
+                        raise WorkloadError(
+                            f"indirect target {tgt:#x} is not a block start"
+                        )
+                    if weight <= 0:
+                        raise WorkloadError(
+                            f"indirect target {tgt:#x} has non-positive weight"
+                        )
+                if blk.target not in {t for t, _ in blk.indirect_targets}:
+                    raise WorkloadError(
+                        f"indirect branch at {blk.branch_pc:#x}: primary target "
+                        "not in the target set"
+                    )
+            if blk.kind == BranchKind.COND and not blk.is_loop:
+                if not (0.0 <= blk.bias <= 1.0):
+                    raise WorkloadError(
+                        f"conditional at {blk.branch_pc:#x} has bias {blk.bias}"
+                    )
+            if blk.corr_src:
+                if blk.kind != BranchKind.COND or blk.is_loop:
+                    raise WorkloadError(
+                        f"correlation on non-conditional branch at {blk.branch_pc:#x}"
+                    )
+                src = self.blocks.get(blk.corr_src)
+                if src is None or src.kind != BranchKind.COND:
+                    raise WorkloadError(
+                        f"correlated branch at {blk.branch_pc:#x} has a "
+                        f"non-conditional source {blk.corr_src:#x}"
+                    )
+        for func in self.functions:
+            for start in func.block_starts:
+                if start not in starts:
+                    raise WorkloadError(
+                        f"function {func.name} lists missing block {start:#x}"
+                    )
+            if func.entry != func.block_starts[0]:
+                raise WorkloadError(f"function {func.name} entry is not its first block")

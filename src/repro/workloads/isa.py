@@ -1,0 +1,95 @@
+"""Synthetic fixed-width ISA: branch kinds and address arithmetic.
+
+The paper's substrate is SPARC v9 (fixed 4-byte instructions). Only the
+*addresses* and *branch kinds* of instructions matter to a front-end study,
+so the synthetic ISA is nothing more than: every instruction occupies 4
+bytes, and a basic block is a run of instructions whose last one is a
+branch of one of the kinds below.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from ..config import BLOCK_BYTES, INSTR_BYTES
+
+
+class BranchKind(IntEnum):
+    """Terminating-branch kind of a basic block."""
+
+    COND = 0       #: conditional direct branch (taken or not taken)
+    JUMP = 1       #: unconditional direct jump
+    CALL = 2       #: direct call (pushes return address)
+    RET = 3        #: return (target from the call stack)
+    IND_JUMP = 4   #: indirect jump (target varies dynamically)
+    IND_CALL = 5   #: indirect call
+
+
+#: Kinds whose execution always redirects the fetch stream.
+UNCONDITIONAL_KINDS = frozenset(
+    (BranchKind.JUMP, BranchKind.CALL, BranchKind.RET, BranchKind.IND_JUMP, BranchKind.IND_CALL)
+)
+
+#: Kinds that consult the return address stack for their target.
+RETURN_KINDS = frozenset((BranchKind.RET,))
+
+#: Kinds that push onto the return address stack.
+CALL_KINDS = frozenset((BranchKind.CALL, BranchKind.IND_CALL))
+
+#: Kinds whose BTB-stored target can be wrong (target varies dynamically).
+INDIRECT_KINDS = frozenset((BranchKind.IND_JUMP, BranchKind.IND_CALL))
+
+
+class EntryKind(IntEnum):
+    """How control arrived at a fetch address (Figure 3 classification)."""
+
+    SEQUENTIAL = 0      #: fall-through / straight-line fetch
+    CONDITIONAL = 1     #: target of a taken conditional branch
+    UNCONDITIONAL = 2   #: target of a call, return, or unconditional jump
+
+
+def block_of(pc: int) -> int:
+    """Cache-block number containing byte address ``pc``."""
+    return pc >> 6  # BLOCK_BYTES == 64
+
+
+def block_base(pc: int) -> int:
+    """Byte address of the first byte of the cache block containing ``pc``."""
+    return pc & ~(BLOCK_BYTES - 1)
+
+
+def blocks_spanned(start_pc: int, n_instrs: int) -> range:
+    """Cache-block numbers touched by ``n_instrs`` instructions at ``start_pc``."""
+    if n_instrs <= 0:
+        return range(block_of(start_pc), block_of(start_pc))
+    last_pc = start_pc + (n_instrs - 1) * INSTR_BYTES
+    return range(block_of(start_pc), block_of(last_pc) + 1)
+
+
+def block_distance(from_pc: int, to_pc: int) -> int:
+    """Distance between two addresses in whole cache blocks (Figure 4 metric)."""
+    return abs(block_of(to_pc) - block_of(from_pc))
+
+
+def instr_count(start_pc: int, end_pc: int) -> int:
+    """Number of instructions in [start_pc, end_pc] inclusive."""
+    if end_pc < start_pc:
+        raise ValueError(f"end_pc {end_pc:#x} precedes start_pc {start_pc:#x}")
+    return (end_pc - start_pc) // INSTR_BYTES + 1
+
+
+__all__ = [
+    "BranchKind",
+    "EntryKind",
+    "UNCONDITIONAL_KINDS",
+    "RETURN_KINDS",
+    "CALL_KINDS",
+    "INDIRECT_KINDS",
+    "block_of",
+    "block_base",
+    "blocks_spanned",
+    "block_distance",
+    "instr_count",
+    "BLOCK_BYTES",
+    "INSTR_BYTES",
+]

@@ -1,0 +1,247 @@
+"""Dynamic execution: walking a CFG into a deterministic basic-block trace.
+
+The walker interprets the CFG with a call stack, per-branch loop counters,
+Bernoulli conditional outcomes and sticky indirect-target selection — all
+driven by a private seeded PRNG, so the same workload always produces the
+same trace and every mechanism is evaluated on identical input.
+
+Trace records are plain tuples for speed; the ``REC_*`` index constants
+name their fields.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import WorkloadError
+from .cfg import ControlFlowGraph, StaticBlock
+from .isa import BranchKind, EntryKind, block_of, blocks_spanned
+
+#: Tuple-field indexes of one trace record.
+REC_START = 0     #: basic-block start pc
+REC_NINSTR = 1    #: instructions in the block
+REC_KIND = 2      #: BranchKind of the terminating branch
+REC_TAKEN = 3     #: 1 if the branch redirected the fetch stream
+REC_NEXT = 4      #: start pc of the next basic block on the correct path
+REC_ENTRY = 5     #: EntryKind — how control arrived at this block
+
+#: One trace record: (start, n_instrs, kind, taken, next_pc, entry_kind).
+TraceRecord = tuple[int, int, int, int, int, int]
+
+#: Probability that an indirect branch repeats its previous target.
+_INDIRECT_STICKINESS = 0.6
+
+#: Call-stack depth cap; deeper calls are treated as tail calls.
+_MAX_CALL_DEPTH = 64
+
+
+@dataclass
+class Trace:
+    """A dynamic basic-block trace over a static CFG."""
+
+    cfg: ControlFlowGraph
+    records: list[TraceRecord]
+    seed: int
+    n_instrs: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.n_instrs:
+            self.n_instrs = sum(r[REC_NINSTR] for r in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def block(self, record: TraceRecord) -> StaticBlock:
+        """The static block behind a record."""
+        return self.cfg.blocks[record[REC_START]]
+
+    def summary(self) -> "TraceSummary":
+        return summarize(self)
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate trace statistics used by calibration tests and reports."""
+
+    n_records: int
+    n_instrs: int
+    avg_bb_instrs: float
+    taken_rate: float
+    cond_frac: float
+    cond_taken_rate: float
+    uncond_frac: float
+    unique_basic_blocks: int
+    unique_cache_blocks: int
+    footprint_kb: float
+    kind_counts: dict[int, int] = field(default_factory=dict)
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Compute :class:`TraceSummary` for ``trace``."""
+    kind_counts: dict[int, int] = {}
+    taken = 0
+    cond = 0
+    cond_taken = 0
+    unique_bbs: set[int] = set()
+    unique_blocks: set[int] = set()
+    for rec in trace.records:
+        kind = rec[REC_KIND]
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        taken += rec[REC_TAKEN]
+        if kind == BranchKind.COND:
+            cond += 1
+            cond_taken += rec[REC_TAKEN]
+        unique_bbs.add(rec[REC_START])
+        unique_blocks.update(blocks_spanned(rec[REC_START], rec[REC_NINSTR]))
+    n = len(trace.records)
+    return TraceSummary(
+        n_records=n,
+        n_instrs=trace.n_instrs,
+        avg_bb_instrs=trace.n_instrs / n if n else 0.0,
+        taken_rate=taken / n if n else 0.0,
+        cond_frac=cond / n if n else 0.0,
+        cond_taken_rate=cond_taken / cond if cond else 0.0,
+        uncond_frac=(n - cond) / n if n else 0.0,
+        unique_basic_blocks=len(unique_bbs),
+        unique_cache_blocks=len(unique_blocks),
+        footprint_kb=len(unique_blocks) * 64 / 1024.0,
+        kind_counts=kind_counts,
+    )
+
+
+def _draw_trips(rng: random.Random, mean: float) -> int:
+    """Per-site loop trip count: exponential around the mean, clamped.
+
+    Drawn once per loop branch and then *fixed* for the whole trace: real
+    loops iterate over stable structure sizes, which is what makes their
+    exits history-predictable (TAGE learns them; a bimodal counter cannot).
+    The clamp keeps one unlucky draw from letting a single loop dominate a
+    short trace.
+    """
+    trips = int(round(rng.expovariate(1.0 / mean)))
+    return max(1, min(trips, int(3 * mean)))
+
+
+def generate_trace(
+    cfg: ControlFlowGraph,
+    n_instrs: int,
+    seed: int = 1,
+) -> Trace:
+    """Walk ``cfg`` from its entry until ``n_instrs`` instructions execute.
+
+    The walk is deterministic for a given ``(cfg, n_instrs, seed)``. The
+    trace always ends on a basic-block boundary, so the final instruction
+    count can exceed ``n_instrs`` by at most one block.
+    """
+    if n_instrs <= 0:
+        raise WorkloadError("trace length must be positive")
+    rng = random.Random(seed)
+    blocks = cfg.blocks
+    records: list[TraceRecord] = []
+    append = records.append
+
+    stack: list[int] = []
+    loop_remaining: dict[int, int] = {}
+    loop_trips: dict[int, int] = {}
+    sticky_target: dict[int, int] = {}
+    last_outcome: dict[int, int] = {}
+
+    pc = cfg.entry
+    executed = 0
+    entry_kind = int(EntryKind.SEQUENTIAL)
+
+    while executed < n_instrs:
+        blk = blocks.get(pc)
+        if blk is None:
+            raise WorkloadError(f"walker reached non-block address {pc:#x}")
+        kind = blk.kind
+        taken = 1
+        if kind == BranchKind.COND:
+            if blk.loop_mean > 0:
+                remaining = loop_remaining.get(pc)
+                if remaining is None:
+                    remaining = loop_trips.get(pc)
+                    if remaining is None:
+                        remaining = _draw_trips(rng, blk.loop_mean)
+                        loop_trips[pc] = remaining
+                if remaining > 0:
+                    taken = 1
+                    loop_remaining[pc] = remaining - 1
+                else:
+                    taken = 0
+                    loop_remaining.pop(pc, None)
+            elif blk.corr_src:
+                src_out = last_outcome.get(blk.corr_src)
+                if src_out is None:
+                    taken = 1 if rng.random() < 0.5 else 0
+                else:
+                    taken = src_out ^ 1 if blk.corr_invert else src_out
+            else:
+                taken = 1 if rng.random() < blk.bias else 0
+            last_outcome[pc] = taken
+            next_pc = blk.target if taken else blk.fallthrough
+        elif kind == BranchKind.JUMP:
+            next_pc = blk.target
+        elif kind == BranchKind.CALL:
+            next_pc = blk.target
+            if len(stack) < _MAX_CALL_DEPTH:
+                stack.append(blk.fallthrough)
+        elif kind == BranchKind.IND_CALL:
+            next_pc = _choose_indirect(rng, blk, sticky_target)
+            if len(stack) < _MAX_CALL_DEPTH:
+                stack.append(blk.fallthrough)
+        elif kind == BranchKind.IND_JUMP:
+            next_pc = _choose_indirect(rng, blk, sticky_target)
+        elif kind == BranchKind.RET:
+            next_pc = stack.pop() if stack else cfg.entry
+        else:  # pragma: no cover - exhaustive over BranchKind
+            raise WorkloadError(f"unhandled branch kind {kind}")
+
+        append((pc, blk.n_instrs, int(kind), taken, next_pc, entry_kind))
+        executed += blk.n_instrs
+
+        if not taken:
+            entry_kind = int(EntryKind.SEQUENTIAL)
+        elif kind == BranchKind.COND:
+            entry_kind = int(EntryKind.CONDITIONAL)
+        else:
+            entry_kind = int(EntryKind.UNCONDITIONAL)
+        pc = next_pc
+
+    return Trace(cfg=cfg, records=records, seed=seed, n_instrs=executed)
+
+
+def _choose_indirect(
+    rng: random.Random, blk: StaticBlock, sticky: dict[int, int]
+) -> int:
+    """Sticky weighted choice among an indirect branch's targets."""
+    previous = sticky.get(blk.start)
+    if previous is not None and rng.random() < _INDIRECT_STICKINESS:
+        return previous
+    targets = [t for t, _ in blk.indirect_targets]
+    weights = [w for _, w in blk.indirect_targets]
+    choice = rng.choices(targets, weights=weights, k=1)[0]
+    sticky[blk.start] = choice
+    return choice
+
+
+def taken_conditional_distances(trace: Trace) -> dict[int, int]:
+    """Histogram of taken-conditional jump distances in cache blocks.
+
+    This is the Figure 4 metric: for every dynamically taken conditional
+    branch, the distance between the branch instruction's cache block and
+    its target's cache block.
+    """
+    histogram: dict[int, int] = {}
+    blocks = trace.cfg.blocks
+    for rec in trace.records:
+        if rec[REC_KIND] != BranchKind.COND or not rec[REC_TAKEN]:
+            continue
+        branch_pc = blocks[rec[REC_START]].branch_pc
+        distance = abs(block_of(rec[REC_NEXT]) - block_of(branch_pc))
+        histogram[distance] = histogram.get(distance, 0) + 1
+    return histogram

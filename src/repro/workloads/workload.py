@@ -1,0 +1,76 @@
+"""High-level workload facade: profile + built CFG + dynamic trace.
+
+:func:`load_workload` is the main entry point used by the simulator API,
+experiments and examples. Built workloads are memoized per process because
+CFG construction and trace generation are deterministic and every mechanism
+must run on identical input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .builder import build_cfg
+from .cfg import ControlFlowGraph
+from .profiles import WorkloadProfile, get_profile
+from .trace import Trace, generate_trace
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A ready-to-simulate workload."""
+
+    profile: WorkloadProfile
+    cfg: ControlFlowGraph
+    trace: Trace
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def warmup_instrs(self) -> int:
+        """Instructions excluded from measurement at the start of the trace."""
+        return int(self.trace.n_instrs * self.profile.warmup_frac)
+
+
+_CACHE: dict[tuple[str, float, int], Workload] = {}
+
+#: Cap on memoized workloads; builds are deterministic so eviction is safe.
+_CACHE_LIMIT = 32
+
+
+def load_workload(
+    profile: WorkloadProfile | str,
+    n_instrs: int | None = None,
+    scale: float = 1.0,
+) -> Workload:
+    """Build (or fetch from cache) the workload for ``profile``.
+
+    ``scale`` shrinks footprint and trace length together — used by tests
+    and quick benchmark modes. ``n_instrs`` overrides the (scaled) default
+    trace length.
+    """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    if scale != 1.0:
+        profile = profile.scaled(scale)
+    length = n_instrs if n_instrs is not None else profile.default_trace_instrs
+
+    key = (profile.name, scale, length)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    cfg = build_cfg(profile)
+    trace = generate_trace(cfg, length, seed=profile.seed * 7919 + 1)
+    workload = Workload(profile=profile, cfg=cfg, trace=trace)
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[key] = workload
+    return workload
+
+
+def clear_workload_cache() -> None:
+    """Drop all memoized workloads (tests use this to bound memory)."""
+    _CACHE.clear()

@@ -1,0 +1,104 @@
+"""Tests for the analysis layer: storage accounting and table rendering."""
+
+import pytest
+
+from repro.analysis.storage import (
+    boomerang_cost,
+    btb_prefetch_buffer_bytes,
+    confluence_cost,
+    fdip_cost,
+    ftq_bytes,
+    pif_cost,
+    rdip_cost,
+    shift_cost,
+    storage_comparison,
+    two_level_btb_cost,
+)
+from repro.analysis.tables import format_bar, format_bar_chart, format_table, human_bytes
+from repro.config import SimConfig
+
+
+class TestPaperStorageNumbers:
+    """Section VI-D quotes exact numbers; we must reproduce them."""
+
+    def test_ftq_is_204_bytes(self):
+        assert ftq_bytes(32) == pytest.approx(204, abs=1)
+
+    def test_btb_prefetch_buffer_is_336_bytes(self):
+        assert btb_prefetch_buffer_bytes(32) == pytest.approx(336, abs=1)
+
+    def test_boomerang_total_is_540_bytes(self):
+        assert boomerang_cost(SimConfig()).total_bytes == pytest.approx(540, abs=2)
+
+    def test_pif_exceeds_200_kb(self):
+        assert pif_cost(SimConfig()).per_core_bytes > 200 * 1024
+
+    def test_rdip_is_60_kb(self):
+        assert rdip_cost().per_core_bytes == 60 * 1024
+
+    def test_shift_exceeds_400_kb(self):
+        assert shift_cost(SimConfig()).total_bytes > 400 * 1024
+
+    def test_confluence_llc_extension_is_240kb_scale(self):
+        cost = confluence_cost(SimConfig())
+        assert cost.shared_bytes == pytest.approx(240 * 1024, rel=0.01)
+
+    def test_boomerang_vs_confluence_ratio(self):
+        boom = boomerang_cost(SimConfig()).total_bytes
+        conf = confluence_cost(SimConfig()).total_bytes
+        assert conf / boom > 400  # orders of magnitude, per the paper's pitch
+
+    def test_workload_consolidation_scales_carve(self):
+        one = confluence_cost(SimConfig(), n_workloads=1)
+        four = confluence_cost(SimConfig(), n_workloads=4)
+        assert four.llc_carve_bytes == pytest.approx(4 * one.llc_carve_bytes)
+        # Boomerang is flat in the number of workloads.
+        assert boomerang_cost(SimConfig()).total_bytes == pytest.approx(540, abs=2)
+
+    def test_fdip_is_just_the_ftq(self):
+        assert fdip_cost(SimConfig()).per_core_bytes == ftq_bytes(32)
+
+    def test_two_level_btb_hundreds_of_kb(self):
+        assert two_level_btb_cost(16384).per_core_bytes > 150 * 1024
+
+    def test_comparison_covers_all_schemes(self):
+        names = {c.mechanism for c in storage_comparison()}
+        assert {"boomerang", "confluence", "pif", "shift", "dip", "fdip"} <= names
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.1]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_fmt(self):
+        text = format_table(["x"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in text and "1.23" not in text
+
+    def test_format_bar_scales(self):
+        assert format_bar(5, 10, width=10) == "#####"
+        assert format_bar(20, 10, width=10) == "#" * 10
+
+    def test_format_bar_zero_scale(self):
+        assert format_bar(5, 0) == ""
+
+    def test_bar_chart_rows(self):
+        chart = format_bar_chart(["a", "bb"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].startswith("bb")
+
+    def test_bar_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+    def test_human_bytes(self):
+        assert human_bytes(540) == "540 B"
+        assert human_bytes(240 * 1024) == "240.0 KB"
+        assert human_bytes(2 * 1024 * 1024) == "2.00 MB"

@@ -1,0 +1,193 @@
+"""Tests for the static CFG model and the synthetic program builder."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.builder import build_cfg, reachable_blocks
+from repro.workloads.cfg import ControlFlowGraph, Function, StaticBlock
+from repro.workloads.isa import BranchKind, block_of
+from repro.workloads.profiles import ALL_PROFILES, APACHE, get_profile
+
+
+@pytest.fixture(scope="module")
+def cfg() -> ControlFlowGraph:
+    return build_cfg(APACHE.scaled(0.1))
+
+
+class TestStaticBlock:
+    def test_branch_pc_is_last_instruction(self):
+        blk = StaticBlock(start=0x100, n_instrs=4, kind=BranchKind.COND,
+                          target=0x200, func_id=0)
+        assert blk.branch_pc == 0x10C
+
+    def test_fallthrough_follows_branch(self):
+        blk = StaticBlock(start=0x100, n_instrs=4, kind=BranchKind.COND,
+                          target=0x200, func_id=0)
+        assert blk.fallthrough == 0x110
+
+    def test_size_bytes(self):
+        blk = StaticBlock(start=0, n_instrs=5, kind=BranchKind.JUMP,
+                          target=0x40, func_id=0)
+        assert blk.size_bytes == 20
+
+    def test_is_loop_requires_cond(self):
+        blk = StaticBlock(start=0, n_instrs=2, kind=BranchKind.JUMP,
+                          target=0x40, func_id=0, loop_mean=5.0)
+        assert not blk.is_loop
+
+
+class TestBuilderStructure:
+    def test_deterministic(self):
+        a = build_cfg(APACHE.scaled(0.1))
+        b = build_cfg(APACHE.scaled(0.1))
+        assert sorted(a.blocks) == sorted(b.blocks)
+        assert a.entry == b.entry
+
+    def test_validates(self, cfg):
+        cfg.validate()  # must not raise
+
+    def test_entry_is_driver_dispatch(self, cfg):
+        driver = cfg.functions[0]
+        assert driver.name == "driver"
+        assert cfg.entry == driver.entry
+
+    def test_driver_is_indirect_dispatch_loop(self, cfg):
+        driver = cfg.functions[0]
+        dispatch = cfg.blocks[driver.block_starts[0]]
+        tail = cfg.blocks[driver.block_starts[1]]
+        assert dispatch.kind == BranchKind.IND_CALL
+        assert tail.kind == BranchKind.JUMP
+        assert tail.target == dispatch.start
+
+    def test_driver_dispatches_all_transaction_types(self, cfg):
+        profile = APACHE.scaled(0.1)
+        driver = cfg.functions[0]
+        dispatch = cfg.blocks[driver.block_starts[0]]
+        assert len(dispatch.indirect_targets) == profile.n_transaction_types
+
+    def test_every_function_ends_with_ret(self, cfg):
+        for func in cfg.functions[1:]:
+            last = cfg.blocks[func.block_starts[-1]]
+            assert last.kind == BranchKind.RET
+
+    def test_blocks_within_function_are_contiguous(self, cfg):
+        for func in cfg.functions:
+            for a, b in zip(func.block_starts, func.block_starts[1:]):
+                assert cfg.blocks[a].fallthrough == b
+
+    def test_functions_do_not_overlap(self, cfg):
+        spans = sorted(
+            (func.block_starts[0], cfg.blocks[func.block_starts[-1]].fallthrough)
+            for func in cfg.functions
+        )
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_code_footprint_close_to_profile(self, cfg):
+        profile = APACHE.scaled(0.1)
+        assert cfg.code_bytes == pytest.approx(profile.code_kb * 1024, rel=0.25)
+
+    def test_conditional_targets_are_forward_or_loops(self, cfg):
+        for blk in cfg.blocks.values():
+            if blk.kind != BranchKind.COND:
+                continue
+            if blk.is_loop:
+                assert blk.target < blk.start
+            else:
+                assert blk.target > blk.start
+
+    def test_calls_target_lower_layer_entries(self, cfg):
+        entry_layers = {f.entry: f.layer for f in cfg.functions}
+        func_layers = {f.func_id: f.layer for f in cfg.functions}
+        for blk in cfg.blocks.values():
+            if blk.kind == BranchKind.CALL:
+                assert blk.target in entry_layers
+                assert entry_layers[blk.target] > func_layers[blk.func_id]
+
+    def test_loops_have_call_free_bodies(self, cfg):
+        starts = {f.func_id: list(f.block_starts) for f in cfg.functions}
+        for blk in cfg.blocks.values():
+            if not blk.is_loop:
+                continue
+            fn_starts = starts[blk.func_id]
+            body = [s for s in fn_starts if blk.target <= s < blk.start]
+            for s in body:
+                assert cfg.blocks[s].kind not in (BranchKind.CALL, BranchKind.IND_CALL)
+
+    def test_branch_map_covers_all_blocks(self, cfg):
+        total = sum(
+            len(cfg.branches_in_cache_block(cb))
+            for cb in {block_of(b.branch_pc) for b in cfg.blocks.values()}
+        )
+        assert total == len(cfg.blocks)
+
+    def test_branch_map_sorted_by_pc(self, cfg):
+        for blk in list(cfg.blocks.values())[:200]:
+            entries = cfg.branches_in_cache_block(block_of(blk.branch_pc))
+            pcs = [e.branch_pc for e in entries]
+            assert pcs == sorted(pcs)
+
+    def test_n_static_branches_equals_blocks(self, cfg):
+        assert cfg.n_static_branches == cfg.n_blocks
+
+    def test_block_at_raises_for_unknown(self, cfg):
+        with pytest.raises(WorkloadError):
+            cfg.block_at(1)
+
+
+class TestReachability:
+    def test_entry_reachable(self, cfg):
+        assert cfg.entry in reachable_blocks(cfg)
+
+    def test_handlers_reachable(self, cfg):
+        reachable = reachable_blocks(cfg)
+        for func in cfg.functions:
+            if func.layer == 1:
+                assert func.entry in reachable
+
+    def test_most_code_reachable(self, cfg):
+        reachable = reachable_blocks(cfg)
+        assert len(reachable) / cfg.n_blocks > 0.5
+
+
+class TestAllProfilesBuild:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_builds_and_validates(self, profile):
+        small = profile.scaled(0.05)
+        cfg = build_cfg(small)
+        cfg.validate()
+        assert cfg.n_blocks > 50
+
+
+class TestValidationCatchesCorruption:
+    def test_bad_target_rejected(self):
+        blocks = {
+            0x100: StaticBlock(0x100, 2, BranchKind.JUMP, 0x999, 0),
+        }
+        funcs = [Function(0, "f", 0x100, 0, (0x100,))]
+        cfg = ControlFlowGraph(blocks=blocks, functions=funcs, entry=0x100)
+        with pytest.raises(WorkloadError):
+            cfg.validate()
+
+    def test_bad_entry_rejected(self):
+        blocks = {0x100: StaticBlock(0x100, 2, BranchKind.RET, 0, 0)}
+        funcs = [Function(0, "f", 0x100, 0, (0x100,))]
+        cfg = ControlFlowGraph(blocks=blocks, functions=funcs, entry=0x500)
+        with pytest.raises(WorkloadError):
+            cfg.validate()
+
+    def test_indirect_without_targets_rejected(self):
+        blocks = {
+            0x100: StaticBlock(0x100, 2, BranchKind.IND_JUMP, 0x100, 0),
+        }
+        funcs = [Function(0, "f", 0x100, 0, (0x100,))]
+        cfg = ControlFlowGraph(blocks=blocks, functions=funcs, entry=0x100)
+        with pytest.raises(WorkloadError):
+            cfg.validate()
+
+    def test_empty_block_rejected(self):
+        blocks = {0x100: StaticBlock(0x100, 0, BranchKind.RET, 0, 0)}
+        funcs = [Function(0, "f", 0x100, 0, (0x100,))]
+        cfg = ControlFlowGraph(blocks=blocks, functions=funcs, entry=0x100)
+        with pytest.raises(WorkloadError):
+            cfg.validate()

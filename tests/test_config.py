@@ -1,0 +1,178 @@
+"""Unit tests for repro.config parameter dataclasses."""
+
+import pytest
+
+from repro.config import (
+    BLOCK_BYTES,
+    INSTR_BYTES,
+    INSTRS_PER_BLOCK,
+    BTBParams,
+    CacheParams,
+    CoreParams,
+    MemoryParams,
+    NoCParams,
+    PredictorParams,
+    PrefetchParams,
+    SimConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestConstants:
+    def test_block_holds_sixteen_instructions(self):
+        assert BLOCK_BYTES == 64
+        assert INSTR_BYTES == 4
+        assert INSTRS_PER_BLOCK == 16
+
+
+class TestCacheParams:
+    def test_l1i_default_geometry(self):
+        p = CacheParams(32 * 1024, 2)
+        assert p.n_sets == 256
+        assert p.n_blocks == 512
+
+    def test_llc_geometry(self):
+        p = CacheParams(4 * 1024 * 1024, 16, hit_latency=5)
+        assert p.n_sets == 4096
+        assert p.hit_latency == 5
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ConfigError):
+            CacheParams(1000, 2)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ConfigError):
+            CacheParams(3 * 64 * 2, 2)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigError):
+            CacheParams(0, 2)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ConfigError):
+            CacheParams(1024, 0)
+
+
+class TestNoCParams:
+    def test_mesh_defaults_match_table1(self):
+        p = NoCParams()
+        assert p.kind == "mesh"
+        assert p.mesh_dim == 4
+        assert p.cycles_per_hop == 3
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            NoCParams(kind="torus")
+
+    def test_crossbar_accepted(self):
+        assert NoCParams(kind="crossbar").crossbar_round_trip == 18
+
+
+class TestBTBParams:
+    def test_default_is_2k(self):
+        p = BTBParams()
+        assert p.entries == 2048
+        assert p.n_sets == 512
+
+    def test_rejects_non_divisible_assoc(self):
+        with pytest.raises(ConfigError):
+            BTBParams(entries=100, assoc=3)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ConfigError):
+            BTBParams(entries=96, assoc=4)
+
+
+class TestCoreParams:
+    def test_three_wide_defaults(self):
+        p = CoreParams()
+        assert p.fetch_width == 3
+        assert p.commit_width == 3
+        assert p.rob_size == 128
+
+    def test_rejects_tiny_rob(self):
+        with pytest.raises(ConfigError):
+            CoreParams(rob_size=1, commit_width=3)
+
+    def test_rejects_zero_ftq(self):
+        with pytest.raises(ConfigError):
+            CoreParams(ftq_depth=0)
+
+
+class TestMemoryParams:
+    def test_mesh_round_trip_is_paper_thirty(self):
+        assert MemoryParams().llc_round_trip == 30
+
+    def test_crossbar_round_trip(self):
+        p = MemoryParams(noc=NoCParams(kind="crossbar"))
+        assert p.llc_round_trip == 18 + p.llc.hit_latency
+
+    def test_override_wins(self):
+        p = MemoryParams(llc_round_trip_override=55)
+        assert p.llc_round_trip == 55
+
+    def test_rejects_bad_override(self):
+        with pytest.raises(ConfigError):
+            MemoryParams(llc_round_trip_override=0)
+
+    def test_memory_latency_default_45ns_at_2ghz(self):
+        assert MemoryParams().memory_latency == 90
+
+
+class TestPredictorParams:
+    def test_default_is_tage(self):
+        assert PredictorParams().kind == "tage"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            PredictorParams(kind="perceptron")
+
+    def test_rejects_non_increasing_histories(self):
+        with pytest.raises(ConfigError):
+            PredictorParams(tage_history_lengths=(5, 5, 44))
+
+    def test_rejects_non_pow2_tables(self):
+        with pytest.raises(ConfigError):
+            PredictorParams(tage_table_entries=1000)
+
+
+class TestPrefetchParams:
+    def test_paper_defaults(self):
+        p = PrefetchParams()
+        assert p.next_line_degree == 2
+        assert p.throttle_blocks == 2
+        assert p.btb_prefetch_buffer_entries == 32
+        assert p.confluence_btb_entries == 16384
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ConfigError):
+            PrefetchParams(next_line_degree=0)
+
+    def test_negative_throttle_rejected(self):
+        with pytest.raises(ConfigError):
+            PrefetchParams(throttle_blocks=-1)
+
+
+class TestSimConfig:
+    def test_with_llc_latency_is_pure(self):
+        base = SimConfig()
+        modified = base.with_llc_latency(42)
+        assert modified.memory.llc_round_trip == 42
+        assert base.memory.llc_round_trip_override is None
+
+    def test_with_btb_entries_resizes(self):
+        cfg = SimConfig().with_btb_entries(8192)
+        assert cfg.btb.entries == 8192
+
+    def test_with_btb_entries_fixes_assoc_when_needed(self):
+        cfg = SimConfig().with_btb_entries(1024)
+        assert cfg.btb.entries == 1024
+
+    def test_with_predictor(self):
+        cfg = SimConfig().with_predictor("bimodal")
+        assert cfg.predictor.kind == "bimodal"
+
+    def test_perfect_flags_default_off(self):
+        cfg = SimConfig()
+        assert not cfg.perfect_l1i
+        assert not cfg.perfect_btb

@@ -1,0 +1,125 @@
+"""Engine tests on hand-crafted micro-CFGs with exactly known behaviour."""
+
+import pytest
+
+from repro import Simulator, make_config
+from repro.config import PredictorParams
+from repro.workloads.cfg import ControlFlowGraph, Function, StaticBlock
+from repro.workloads.isa import BranchKind
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import generate_trace
+from repro.workloads.workload import Workload
+
+
+def micro_workload(blocks, functions, entry, n_instrs=4000, seed=3) -> Workload:
+    cfg = ControlFlowGraph(blocks=blocks, functions=functions, entry=entry)
+    cfg.validate()
+    trace = generate_trace(cfg, n_instrs, seed=seed)
+    profile = get_profile("apache").scaled(0.05)
+    return Workload(profile=profile, cfg=cfg, trace=trace)
+
+
+def simple_loop_workload(**kwargs) -> Workload:
+    """Two blocks: A (cond, taken-biased back to itself? no) -- use A->B->A."""
+    base = 0x1000
+    a = StaticBlock(base, 4, BranchKind.COND, base + 32, 0, bias=0.5)
+    b = StaticBlock(base + 16, 4, BranchKind.JUMP, base, 0)
+    c = StaticBlock(base + 32, 4, BranchKind.JUMP, base, 0)
+    funcs = [Function(0, "f", base, 0, (base, base + 16, base + 32))]
+    return micro_workload(
+        {base: a, base + 16: b, base + 32: c}, funcs, base, **kwargs
+    )
+
+
+def call_chain_workload(**kwargs) -> Workload:
+    """driver -> callee -> return, forever. Exercises CALL/RET + RAS."""
+    d0 = 0x2000   # call site
+    d1 = 0x2010   # loop tail (return lands here)
+    f0 = 0x3000   # callee body
+    f1 = 0x3010   # callee ret
+    blocks = {
+        d0: StaticBlock(d0, 4, BranchKind.CALL, f0, 0),
+        d1: StaticBlock(d1, 4, BranchKind.JUMP, d0, 0),
+        f0: StaticBlock(f0, 4, BranchKind.COND, f1, 1, bias=0.3),
+        f1: StaticBlock(f1, 4, BranchKind.RET, 0, 1),
+    }
+    funcs = [
+        Function(0, "driver", d0, 0, (d0, d1)),
+        Function(1, "callee", f0, 1, (f0, f1)),
+    ]
+    return micro_workload(blocks, funcs, d0, **kwargs)
+
+
+class TestMicroLoop:
+    def test_engine_completes(self):
+        wl = simple_loop_workload()
+        res = Simulator(wl, make_config("none")).run()
+        assert res.instructions > 0
+
+    def test_tiny_footprint_has_no_steady_state_misses(self):
+        """Three blocks fit one or two cache lines: post-warmup zero misses."""
+        wl = simple_loop_workload()
+        res = Simulator(wl, make_config("none")).run()
+        assert res.raw["l1i_demand_misses"] == 0  # cold misses absorbed by warmup
+
+    def test_btb_learns_and_stops_squashing(self):
+        wl = simple_loop_workload()
+        res = Simulator(wl, make_config("none")).run()
+        # Three static branches; after warmup the BTB holds all of them.
+        assert res.squashes_btb == 0
+
+    def test_oracle_removes_all_direction_squashes(self):
+        wl = simple_loop_workload()
+        cfg = make_config("none", predictor=PredictorParams(kind="oracle"))
+        res = Simulator(wl, cfg).run()
+        assert res.squashes_mispredict == 0
+
+    def test_unbiased_cond_with_never_taken_squashes_half(self):
+        wl = simple_loop_workload(n_instrs=8000)
+        cfg = make_config("none", predictor=PredictorParams(kind="never_taken"))
+        res = Simulator(wl, cfg).run()
+        # Each loop iteration executes 8 instructions (A + either B or C)
+        # and exactly one conditional, taken ~half the time.
+        conds = res.raw["retired_instrs"] / 8
+        assert res.raw["squash_cond"] == pytest.approx(conds * 0.5, rel=0.25)
+
+
+class TestMicroCallChain:
+    def test_ras_predicts_returns(self):
+        wl = call_chain_workload()
+        res = Simulator(wl, make_config("none")).run()
+        # Returns are RAS-predicted: no target squashes in this CFG.
+        assert res.raw["squash_target"] == 0
+
+    def test_engine_matches_trace_length(self):
+        wl = call_chain_workload()
+        res = Simulator(wl, make_config("none")).run()
+        total = res.raw["retired_instrs"] + res.raw["warmup_instrs"]
+        assert total == wl.trace.n_instrs
+
+    def test_boomerang_on_micro_cfg(self):
+        wl = call_chain_workload()
+        res = Simulator(wl, make_config("boomerang")).run()
+        assert res.squashes_btb == 0
+        assert res.instructions > 0
+
+
+class TestIPCBounds:
+    def test_ipc_bounded_by_commit_width(self):
+        wl = simple_loop_workload()
+        res = Simulator(wl, make_config("none", perfect_l1i=True, perfect_btb=True)).run()
+        assert res.ipc <= 3.0
+
+    def test_perfect_everything_beats_real(self):
+        wl = call_chain_workload()
+        real = Simulator(wl, make_config("none")).run()
+        ideal = Simulator(
+            wl,
+            make_config(
+                "none",
+                perfect_l1i=True,
+                perfect_btb=True,
+                predictor=PredictorParams(kind="oracle"),
+            ),
+        ).run()
+        assert ideal.ipc >= real.ipc

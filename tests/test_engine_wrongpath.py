@@ -1,0 +1,124 @@
+"""Tests for wrong-path behaviour and front-end interplay in the engine.
+
+Wrong-path excursions are a first-class effect in the paper (Section VI-B
+credits FDIP/SHIFT coverage to wrong-path prefetches), so the engine's
+wrong-path machinery gets its own tests.
+"""
+
+import pytest
+
+from repro import Simulator, make_config
+from repro.config import CoreParams, PredictorParams
+
+
+class TestWrongPathAccounting:
+    def test_wrong_path_cycles_follow_squashes(self, small_workload, sim_cache):
+        """More squashes must mean more wrong-path cycles, not fewer."""
+        res = sim_cache.run(small_workload, "none")
+        assert res.raw["wp_cycles"] > 0
+        assert res.squashes_total > 0
+
+    def test_oracle_plus_perfect_btb_minimizes_wrong_path(self, small_workload):
+        cfg = make_config(
+            "none", perfect_btb=True, predictor=PredictorParams(kind="oracle")
+        )
+        res = Simulator(small_workload, cfg).run()
+        # Indirect targets are perfect under perfect BTB; RAS handles
+        # returns; oracle handles directions: no divergence sources remain.
+        assert res.squashes_total == 0
+        assert res.raw["wp_cycles"] == 0
+
+    def test_never_taken_increases_wrong_path(self, small_workload, sim_cache):
+        tage = sim_cache.run(small_workload, "none")
+        never = sim_cache.run(
+            small_workload, "none", predictor=PredictorParams(kind="never_taken")
+        )
+        assert never.raw["squash_cond"] > tage.raw["squash_cond"]
+        assert never.ipc < tage.ipc
+
+
+class TestWrongPathPrefetchEffect:
+    def test_fdip_issues_more_prefetches_than_demand_misses(
+        self, medium_workload, sim_cache
+    ):
+        res = sim_cache.run(medium_workload, "fdip")
+        assert res.raw["l1i_prefetches_issued"] > 0
+        # FDIP probes every FTQ block including wrong-path ones.
+        assert res.raw["l1i_prefetches_issued"] >= res.raw["l1i_pb_promotions"]
+
+    def test_prefetch_buffer_bounded_pollution(self, medium_workload, sim_cache):
+        """Wrong-path prefetches can only pollute the FIFO buffer, not L1-I."""
+        res = sim_cache.run(medium_workload, "fdip")
+        assert res.raw["pb_evictions"] >= 0
+        # Promotions (useful prefetches) dominate over a pressured run.
+        assert res.raw["l1i_pb_promotions"] > 0
+
+
+class TestResolveLatencyEffect:
+    def test_longer_resolve_hurts(self, small_workload):
+        fast = Simulator(
+            small_workload, make_config("none", core=CoreParams(resolve_latency=6))
+        ).run()
+        slow = Simulator(
+            small_workload, make_config("none", core=CoreParams(resolve_latency=30))
+        ).run()
+        assert slow.ipc < fast.ipc
+
+    def test_squash_count_insensitive_to_resolve_latency(self, small_workload):
+        """Resolve latency changes *cost* per squash, not the squash count."""
+        a = Simulator(
+            small_workload, make_config("none", core=CoreParams(resolve_latency=6))
+        ).run()
+        b = Simulator(
+            small_workload, make_config("none", core=CoreParams(resolve_latency=30))
+        ).run()
+        assert a.squashes_total == pytest.approx(b.squashes_total, rel=0.15)
+
+
+class TestDataStallModel:
+    def test_data_stalls_reduce_ipc(self, small_workload):
+        none = Simulator(
+            small_workload,
+            make_config("none", core=CoreParams(data_stall_bb_frac=0.0)),
+        ).run()
+        heavy = Simulator(
+            small_workload,
+            make_config(
+                "none", core=CoreParams(data_stall_bb_frac=0.5, data_stall_cycles=30)
+            ),
+        ).run()
+        assert heavy.ipc < none.ipc
+
+    def test_data_stall_cycles_not_charged_as_fetch_stalls(self, small_workload):
+        """Front-end stall metric must not absorb data-stall time."""
+        light = Simulator(
+            small_workload,
+            make_config("none", core=CoreParams(data_stall_bb_frac=0.0)),
+        ).run()
+        heavy = Simulator(
+            small_workload,
+            make_config(
+                "none", core=CoreParams(data_stall_bb_frac=0.5, data_stall_cycles=30)
+            ),
+        ).run()
+        # Stall cycles should not grow with data-stall intensity.
+        assert heavy.stall_cycles <= light.stall_cycles * 1.2
+
+
+class TestContentionModel:
+    def test_contention_penalty_slows_bursty_prefetch(self, medium_workload):
+        from dataclasses import replace
+
+        cfg = make_config("next_line")
+        relaxed = replace(
+            cfg, memory=replace(cfg.memory, llc_contention_free=10_000)
+        )
+        tight = replace(
+            cfg,
+            memory=replace(
+                cfg.memory, llc_contention_free=1, llc_contention_penalty=10
+            ),
+        )
+        fast = Simulator(medium_workload, relaxed).run()
+        slow = Simulator(medium_workload, tight).run()
+        assert slow.ipc <= fast.ipc + 0.01

@@ -1,0 +1,155 @@
+"""Integration tests: the paper's qualitative claims on pressured workloads.
+
+These run at MEDIUM_SCALE so the 32 KB L1-I and 2K-entry BTB are genuinely
+over-subscribed; each asserts a *shape* from the paper's evaluation, not an
+absolute number.
+"""
+
+import pytest
+
+from repro import Simulator, make_config
+
+
+class TestFigure1Shape:
+    def test_perfect_l1i_meaningful_gain(self, medium_workload, sim_cache):
+        base = sim_cache.run(medium_workload, "none")
+        perfect = sim_cache.run(medium_workload, "none", perfect_l1i=True)
+        assert perfect.speedup_over(base) > 1.08  # paper: +11..47%
+
+    def test_perfect_btb_adds_on_top(self, medium_oltp_workload, sim_cache):
+        base = sim_cache.run(medium_oltp_workload, "none")
+        p1 = sim_cache.run(medium_oltp_workload, "none", perfect_l1i=True)
+        p2 = sim_cache.run(
+            medium_oltp_workload, "none", perfect_l1i=True, perfect_btb=True
+        )
+        assert p2.speedup_over(base) > p1.speedup_over(base) + 0.03  # paper: +6..40%
+
+    def test_streaming_smallest_opportunity(
+        self, medium_streaming_workload, medium_oltp_workload, sim_cache
+    ):
+        s_base = sim_cache.run(medium_streaming_workload, "none")
+        s_perf = sim_cache.run(medium_streaming_workload, "none", perfect_l1i=True)
+        d_base = sim_cache.run(medium_oltp_workload, "none")
+        d_perf = sim_cache.run(medium_oltp_workload, "none", perfect_l1i=True)
+        assert s_perf.speedup_over(s_base) < d_perf.speedup_over(d_base)
+
+
+class TestFigure7Shape:
+    def test_l1i_only_schemes_keep_btb_squashes(self, medium_oltp_workload, sim_cache):
+        base = sim_cache.run(medium_oltp_workload, "none")
+        for mech in ("next_line", "dip", "fdip", "shift"):
+            res = sim_cache.run(medium_oltp_workload, mech)
+            assert res.btb_squashes_per_kilo > 0.5 * base.btb_squashes_per_kilo, mech
+
+    def test_boomerang_eliminates_btb_squashes(self, medium_oltp_workload, sim_cache):
+        res = sim_cache.run(medium_oltp_workload, "boomerang")
+        assert res.squashes_btb == 0
+
+    def test_confluence_eliminates_most(self, medium_oltp_workload, sim_cache):
+        base = sim_cache.run(medium_oltp_workload, "none")
+        conf = sim_cache.run(medium_oltp_workload, "confluence")
+        # Paper: >85% at full scale; the scaled-down test workload gives
+        # the prefetcher less recurrence, so the bar here is "most".
+        assert conf.squashes_btb < 0.25 * base.squashes_btb
+
+    def test_complete_schemes_halve_total_squashes(self, medium_oltp_workload, sim_cache):
+        fdip = sim_cache.run(medium_oltp_workload, "fdip")
+        boom = sim_cache.run(medium_oltp_workload, "boomerang")
+        assert boom.squashes_per_kilo < 0.75 * fdip.squashes_per_kilo
+
+
+class TestFigure8Shape:
+    @pytest.mark.parametrize("mech", ["next_line", "dip", "fdip", "pif", "shift",
+                                      "confluence", "boomerang"])
+    def test_everyone_covers_some_stalls(self, mech, medium_workload, sim_cache):
+        base = sim_cache.run(medium_workload, "none")
+        res = sim_cache.run(medium_workload, mech)
+        assert res.coverage_over(base) > 0.15, mech
+
+    def test_fdip_beats_next_line(self, medium_workload, sim_cache):
+        base = sim_cache.run(medium_workload, "none")
+        nl = sim_cache.run(medium_workload, "next_line")
+        fdip = sim_cache.run(medium_workload, "fdip")
+        assert fdip.coverage_over(base) > nl.coverage_over(base)
+
+    def test_pif_beats_shift(self, medium_workload, sim_cache):
+        """SHIFT pays LLC latency on stream redirects; PIF does not."""
+        base = sim_cache.run(medium_workload, "none")
+        pif = sim_cache.run(medium_workload, "pif")
+        shift = sim_cache.run(medium_workload, "shift")
+        assert pif.coverage_over(base) >= shift.coverage_over(base)
+
+
+class TestFigure9Shape:
+    def test_boomerang_beats_fdip(self, medium_oltp_workload, sim_cache):
+        base = sim_cache.run(medium_oltp_workload, "none")
+        fdip = sim_cache.run(medium_oltp_workload, "fdip")
+        boom = sim_cache.run(medium_oltp_workload, "boomerang")
+        assert boom.speedup_over(base) > fdip.speedup_over(base)
+
+    def test_complete_schemes_beat_l1i_only(self, medium_oltp_workload, sim_cache):
+        base = sim_cache.run(medium_oltp_workload, "none")
+        shift = sim_cache.run(medium_oltp_workload, "shift")
+        conf = sim_cache.run(medium_oltp_workload, "confluence")
+        boom = sim_cache.run(medium_oltp_workload, "boomerang")
+        assert conf.speedup_over(base) > shift.speedup_over(base)
+        assert boom.speedup_over(base) > shift.speedup_over(base)
+
+    def test_every_mechanism_speeds_up(self, medium_workload, sim_cache):
+        base = sim_cache.run(medium_workload, "none")
+        for mech in ("next_line", "dip", "fdip", "pif", "shift", "confluence",
+                     "boomerang"):
+            res = sim_cache.run(medium_workload, mech)
+            assert res.speedup_over(base) > 1.0, mech
+
+
+class TestLatencySensitivity:
+    """Figure 11 shape: lower LLC latency shrinks absolute gains."""
+
+    def test_crossbar_shrinks_gains(self, medium_workload):
+        from dataclasses import replace
+
+        def xbar(cfg):
+            return replace(
+                cfg,
+                memory=replace(
+                    cfg.memory, noc=replace(cfg.memory.noc, kind="crossbar")
+                ),
+            )
+
+        base_mesh = Simulator(medium_workload, make_config("none")).run()
+        boom_mesh = Simulator(medium_workload, make_config("boomerang")).run()
+        base_xbar = Simulator(medium_workload, xbar(make_config("none"))).run()
+        boom_xbar = Simulator(medium_workload, xbar(make_config("boomerang"))).run()
+        assert boom_xbar.speedup_over(base_xbar) < boom_mesh.speedup_over(base_mesh)
+        assert boom_xbar.speedup_over(base_xbar) > 1.0
+
+
+class TestThrottleShape:
+    """Figure 10 shape: some sequential prefetch under a BTB miss helps OLTP."""
+
+    def test_throttle_two_beats_none_on_oltp(self, medium_oltp_workload):
+        from dataclasses import replace
+
+        def with_throttle(n):
+            cfg = make_config("boomerang")
+            return replace(cfg, prefetch=replace(cfg.prefetch, throttle_blocks=n))
+
+        none = Simulator(medium_oltp_workload, with_throttle(0)).run()
+        two = Simulator(medium_oltp_workload, with_throttle(2)).run()
+        assert two.ipc > none.ipc
+
+
+class TestBoomerangInternals:
+    def test_btb_prefetch_buffer_consumed(self, medium_oltp_workload, sim_cache):
+        res = sim_cache.run(medium_oltp_workload, "boomerang")
+        assert res.raw["btb_pfb_hits"] > 0
+        assert res.raw["btb_pfb_hits"] <= res.raw["btb_pfb_inserts"]
+
+    def test_predecode_fetches_happen(self, medium_oltp_workload, sim_cache):
+        res = sim_cache.run(medium_oltp_workload, "boomerang")
+        assert res.raw["predecode_fetches"] > 0
+
+    def test_prefetch_buffer_promotions(self, medium_workload, sim_cache):
+        res = sim_cache.run(medium_workload, "boomerang")
+        assert res.raw["l1i_pb_promotions"] > 0

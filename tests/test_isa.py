@@ -1,0 +1,78 @@
+"""Unit tests for repro.workloads.isa address math and branch kinds."""
+
+import pytest
+
+from repro.workloads.isa import (
+    CALL_KINDS,
+    INDIRECT_KINDS,
+    RETURN_KINDS,
+    UNCONDITIONAL_KINDS,
+    BranchKind,
+    EntryKind,
+    block_base,
+    block_distance,
+    block_of,
+    blocks_spanned,
+    instr_count,
+)
+
+
+class TestBranchKindSets:
+    def test_cond_is_the_only_conditional(self):
+        assert BranchKind.COND not in UNCONDITIONAL_KINDS
+        others = set(BranchKind) - {BranchKind.COND}
+        assert others == set(UNCONDITIONAL_KINDS)
+
+    def test_calls_push_ras(self):
+        assert CALL_KINDS == {BranchKind.CALL, BranchKind.IND_CALL}
+
+    def test_returns_pop_ras(self):
+        assert RETURN_KINDS == {BranchKind.RET}
+
+    def test_indirect_kinds(self):
+        assert INDIRECT_KINDS == {BranchKind.IND_JUMP, BranchKind.IND_CALL}
+
+    def test_entry_kinds_are_three(self):
+        assert len(EntryKind) == 3
+
+
+class TestBlockMath:
+    def test_block_of_zero(self):
+        assert block_of(0) == 0
+
+    def test_block_of_boundary(self):
+        assert block_of(63) == 0
+        assert block_of(64) == 1
+
+    def test_block_base(self):
+        assert block_base(0x1234) == 0x1234 & ~63
+        assert block_base(128) == 128
+
+    def test_blocks_spanned_single(self):
+        spanned = list(blocks_spanned(0, 16))
+        assert spanned == [0]
+
+    def test_blocks_spanned_crossing(self):
+        spanned = list(blocks_spanned(60, 2))  # bytes 60..67
+        assert spanned == [0, 1]
+
+    def test_blocks_spanned_empty(self):
+        assert list(blocks_spanned(100, 0)) == []
+
+    def test_blocks_spanned_large_block(self):
+        # 24 instructions starting mid-block span at most 3 cache blocks.
+        assert 2 <= len(list(blocks_spanned(40, 24))) <= 3
+
+    def test_block_distance_symmetric(self):
+        assert block_distance(0, 256) == block_distance(256, 0) == 4
+
+    def test_block_distance_same_block(self):
+        assert block_distance(4, 60) == 0
+
+    def test_instr_count_inclusive(self):
+        assert instr_count(0, 0) == 1
+        assert instr_count(0, 12) == 4
+
+    def test_instr_count_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            instr_count(8, 0)

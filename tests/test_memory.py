@@ -1,0 +1,263 @@
+"""Tests for the memory substrate: caches, prefetch buffer, NoC, hierarchy."""
+
+import pytest
+
+from repro.config import CacheParams, MemoryParams, NoCParams
+from repro.memory.cache import SetAssocCache
+from repro.memory.hierarchy import InstructionMemory
+from repro.memory.noc import (
+    CrossbarNoC,
+    MeshNoC,
+    average_round_trip,
+    make_noc,
+    mesh_average_hops,
+)
+from repro.memory.prefetch_buffer import PrefetchBuffer
+
+
+def tiny_cache(sets=4, assoc=2):
+    return SetAssocCache(CacheParams(sets * assoc * 64, assoc))
+
+
+class TestSetAssocCache:
+    def test_miss_then_hit(self):
+        c = tiny_cache()
+        assert not c.lookup(5)
+        c.insert(5)
+        assert c.lookup(5)
+
+    def test_counters(self):
+        c = tiny_cache()
+        c.lookup(1)
+        c.insert(1)
+        c.lookup(1)
+        assert c.misses == 1
+        assert c.hits == 1
+
+    def test_lru_eviction_order(self):
+        c = tiny_cache(sets=1, assoc=2)
+        c.insert(0)
+        c.insert(1)
+        c.lookup(0)          # 0 becomes MRU
+        victim = c.insert(2)
+        assert victim == 1   # 1 was LRU
+
+    def test_insert_existing_refreshes(self):
+        c = tiny_cache(sets=1, assoc=2)
+        c.insert(0)
+        c.insert(1)
+        c.insert(0)          # refresh, no eviction
+        assert c.evictions == 0
+        victim = c.insert(2)
+        assert victim == 1
+
+    def test_set_isolation(self):
+        c = tiny_cache(sets=4, assoc=1)
+        c.insert(0)
+        c.insert(1)  # different set
+        assert c.contains(0) and c.contains(1)
+
+    def test_conflict_within_set(self):
+        c = tiny_cache(sets=4, assoc=1)
+        c.insert(0)
+        c.insert(4)  # same set (4 % 4 == 0)
+        assert not c.contains(0)
+
+    def test_invalidate(self):
+        c = tiny_cache()
+        c.insert(3)
+        assert c.invalidate(3)
+        assert not c.contains(3)
+        assert not c.invalidate(3)
+
+    def test_occupancy_and_reset(self):
+        c = tiny_cache()
+        for b in range(5):
+            c.insert(b)
+        assert c.occupancy() == 5
+        c.reset()
+        assert c.occupancy() == 0
+        assert c.hits == 0
+
+    def test_contains_does_not_touch_lru(self):
+        c = tiny_cache(sets=1, assoc=2)
+        c.insert(0)
+        c.insert(1)
+        c.contains(0)        # must NOT refresh 0
+        victim = c.insert(2)
+        assert victim == 0
+
+    def test_resident_blocks_snapshot(self):
+        c = tiny_cache()
+        c.insert(1)
+        c.insert(9)
+        assert c.resident_blocks() == {1, 9}
+
+    def test_capacity_respected(self):
+        c = tiny_cache(sets=2, assoc=2)
+        for b in range(20):
+            c.insert(b)
+        assert c.occupancy() <= 4
+
+
+class TestPrefetchBuffer:
+    def test_fifo_eviction(self):
+        pb = PrefetchBuffer(2)
+        pb.insert(1)
+        pb.insert(2)
+        victim = pb.insert(3)
+        assert victim == 1
+        assert 2 in pb and 3 in pb
+
+    def test_promote_removes(self):
+        pb = PrefetchBuffer(4)
+        pb.insert(7)
+        assert pb.promote(7)
+        assert 7 not in pb
+        assert pb.promotions == 1
+
+    def test_promote_missing_is_false(self):
+        pb = PrefetchBuffer(4)
+        assert not pb.promote(7)
+
+    def test_duplicate_insert_is_noop(self):
+        pb = PrefetchBuffer(2)
+        pb.insert(1)
+        pb.insert(1)
+        assert len(pb) == 1
+        assert pb.inserts == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PrefetchBuffer(0)
+
+    def test_reset(self):
+        pb = PrefetchBuffer(2)
+        pb.insert(1)
+        pb.reset()
+        assert len(pb) == 0 and pb.inserts == 0
+
+
+class TestNoC:
+    def test_mesh_average_hops_4x4(self):
+        assert mesh_average_hops(4) == pytest.approx(2.5)
+
+    def test_mesh_round_trip_is_thirty(self):
+        assert average_round_trip(NoCParams(), 5) == 30
+
+    def test_crossbar_round_trip(self):
+        p = NoCParams(kind="crossbar")
+        assert average_round_trip(p, 5) == 23
+
+    def test_make_noc_dispatch(self):
+        assert isinstance(make_noc(NoCParams()), MeshNoC)
+        assert isinstance(make_noc(NoCParams(kind="crossbar")), CrossbarNoC)
+
+    def test_mesh_class_rejects_crossbar_params(self):
+        with pytest.raises(ValueError):
+            MeshNoC(NoCParams(kind="crossbar"))
+
+    def test_bigger_mesh_is_slower(self):
+        small = average_round_trip(NoCParams(mesh_dim=2), 5)
+        large = average_round_trip(NoCParams(mesh_dim=8), 5)
+        assert large > small
+
+
+def make_mem(**kwargs) -> InstructionMemory:
+    return InstructionMemory(MemoryParams(**kwargs))
+
+
+class TestInstructionMemory:
+    def test_cold_miss_pays_llc_plus_memory(self):
+        mem = make_mem()
+        ready = mem.demand_access(100, now=0)
+        assert ready == mem.llc_round_trip + mem.memory_latency
+
+    def test_llc_hit_after_first_touch(self):
+        mem = make_mem()
+        mem.demand_access(100, now=0)
+        mem.drain_arrivals(10_000)
+        mem.l1i.invalidate(100)
+        ready = mem.demand_access(100, now=10_000)
+        assert ready == 10_000 + mem.llc_round_trip
+
+    def test_demand_hit_after_fill(self):
+        mem = make_mem()
+        ready = mem.demand_access(100, now=0)
+        mem.drain_arrivals(ready)
+        assert mem.demand_access(100, now=ready) == ready
+
+    def test_prefetch_fills_buffer_not_l1i(self):
+        mem = make_mem()
+        assert mem.prefetch_probe(100, now=0)
+        mem.drain_arrivals(10_000)
+        assert 100 in mem.pb
+        assert not mem.l1i.contains(100)
+
+    def test_demand_promotes_prefetched_block(self):
+        mem = make_mem()
+        mem.prefetch_probe(100, now=0)
+        mem.drain_arrivals(10_000)
+        ready = mem.demand_access(100, now=10_000)
+        assert ready == 10_000
+        assert mem.l1i.contains(100)
+        assert 100 not in mem.pb
+        assert mem.pb_promotions == 1
+
+    def test_probe_on_resident_block_declines(self):
+        mem = make_mem()
+        ready = mem.demand_access(100, now=0)
+        mem.drain_arrivals(ready)
+        assert not mem.prefetch_probe(100, now=ready)
+
+    def test_probe_on_inflight_declines(self):
+        mem = make_mem()
+        mem.prefetch_probe(100, now=0)
+        assert not mem.prefetch_probe(100, now=1)
+
+    def test_demand_merges_with_inflight_prefetch(self):
+        """The partial-coverage effect: demand waits only the residue."""
+        mem = make_mem()
+        mem.prefetch_probe(100, now=0)
+        full = mem.llc_round_trip + mem.memory_latency
+        ready = mem.demand_access(100, now=full - 10)
+        assert ready == full
+        assert mem.demand_merged == 1
+        mem.drain_arrivals(full)
+        assert mem.l1i.contains(100)  # upgraded fill lands in the L1-I
+
+    def test_data_ready_immediate_when_resident(self):
+        mem = make_mem()
+        ready = mem.demand_access(100, now=0)
+        mem.drain_arrivals(ready)
+        assert mem.data_ready(100, now=ready) == ready
+
+    def test_data_ready_fetches_when_absent(self):
+        mem = make_mem()
+        ready = mem.data_ready(100, now=0)
+        assert ready > 0
+        mem.drain_arrivals(ready)
+        assert 100 in mem.pb
+
+    def test_perfect_mode_never_stalls(self):
+        mem = InstructionMemory(MemoryParams(), perfect=True)
+        assert mem.demand_access(1, 5) == 5
+        assert not mem.prefetch_probe(2, 5)
+        assert mem.data_ready(3, 5) == 5
+
+    def test_counters_keys(self):
+        mem = make_mem()
+        mem.demand_access(1, 0)
+        counters = mem.counters()
+        assert counters["l1i_demand_misses"] == 1
+        assert "llc_misses_to_memory" in counters
+
+    def test_latency_override(self):
+        mem = InstructionMemory(MemoryParams(llc_round_trip_override=7))
+        assert mem.llc_round_trip == 7
+
+    def test_is_resident_or_inflight(self):
+        mem = make_mem()
+        assert not mem.is_resident_or_inflight(50)
+        mem.prefetch_probe(50, now=0)
+        assert mem.is_resident_or_inflight(50)

@@ -1,0 +1,195 @@
+"""Tests for the L1-I prefetcher family."""
+
+import pytest
+
+from repro.prefetch.base import InstructionPrefetcher
+from repro.prefetch.dip import DiscontinuityPrefetcher
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.stream import PIFPrefetcher, SHIFTPrefetcher, TemporalStreamPrefetcher
+
+
+def drain(pf, now=0, limit=100):
+    out = []
+    while len(out) < limit:
+        block = pf.next_prefetch(now)
+        if block is None:
+            break
+        out.append(block)
+    return out
+
+
+class TestBaseEmission:
+    def test_dedup_window(self):
+        pf = InstructionPrefetcher(dedup_window=4)
+        pf._emit(10, 0)
+        pf._emit(10, 0)
+        assert drain(pf) == [10]
+
+    def test_ready_time_respected(self):
+        pf = InstructionPrefetcher()
+        pf._emit(10, ready=5)
+        assert pf.next_prefetch(0) is None
+        assert pf.next_prefetch(5) == 10
+
+    def test_pending(self):
+        pf = InstructionPrefetcher()
+        pf._emit(1, 0)
+        pf._emit(2, 0)
+        assert pf.pending() == 2
+
+
+class TestNextLine:
+    def test_emits_next_n(self):
+        pf = NextLinePrefetcher(degree=2)
+        pf.on_fetch_block(100, 0, 99, False)
+        assert drain(pf) == [101, 102]
+
+    def test_degree_four(self):
+        pf = NextLinePrefetcher(degree=4)
+        pf.on_fetch_block(10, 0, 9, False)
+        assert drain(pf) == [11, 12, 13, 14]
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+    def test_no_metadata(self):
+        assert NextLinePrefetcher().storage_bits() == 0
+
+
+class TestDIP:
+    def test_learns_discontinuity_on_miss(self):
+        pf = DiscontinuityPrefetcher(table_entries=16, next_line_degree=1)
+        pf.on_demand_miss(500, 0, prev_block=100, discontinuity=True)
+        drain(pf)
+        pf.on_fetch_block(100, 10, 99, False)
+        assert 500 in drain(pf, now=10)
+
+    def test_ignores_sequential_misses(self):
+        pf = DiscontinuityPrefetcher(table_entries=16)
+        pf.on_demand_miss(101, 0, prev_block=100, discontinuity=False)
+        pf.on_fetch_block(100, 10, 99, False)
+        assert 101 in drain(pf, now=10)  # via next-line only
+        assert pf.table_inserts == 0
+
+    def test_table_capacity_lru(self):
+        pf = DiscontinuityPrefetcher(table_entries=2)
+        pf.on_demand_miss(500, 0, 1, True)
+        pf.on_demand_miss(600, 0, 2, True)
+        pf.on_demand_miss(700, 0, 3, True)
+        assert 1 not in pf._table
+        assert pf._table[3] == 700
+
+    def test_includes_next_line_helper(self):
+        pf = DiscontinuityPrefetcher(next_line_degree=2)
+        pf.on_fetch_block(50, 0, 49, False)
+        emitted = drain(pf)
+        assert 51 in emitted and 52 in emitted
+
+    def test_storage_is_8k_entries(self):
+        bits = DiscontinuityPrefetcher(table_entries=8192).storage_bits()
+        assert bits == 8192 * 80
+
+
+class TestTemporalStream:
+    def test_replays_recurring_sequence(self):
+        pf = TemporalStreamPrefetcher(lookahead=4)
+        sequence = [1, 2, 3, 4, 5, 6, 7, 8]
+        for b in sequence:           # first traversal: record only
+            pf.on_retired_block(b, 0)
+        drain(pf)
+        pf.on_retired_block(1, 100)  # second traversal: redirect + replay
+        emitted = drain(pf, now=200)
+        assert set(emitted) & {2, 3, 4, 5}
+
+    def test_in_stream_advance_extends_window(self):
+        pf = TemporalStreamPrefetcher(lookahead=2)
+        for b in [1, 2, 3, 4, 5, 6]:
+            pf.on_retired_block(b, 0)
+        pf.on_retired_block(1, 10)
+        pf.on_retired_block(2, 11)
+        assert pf.in_stream_advances >= 1
+
+    def test_skip_tolerance_survives_small_divergence(self):
+        pf = TemporalStreamPrefetcher(lookahead=4)
+        for b in [1, 2, 3, 4, 5, 6, 7, 8]:
+            pf.on_retired_block(b, 0)
+        pf.on_retired_block(1, 10)
+        before = pf.redirects
+        pf.on_retired_block(3, 11)  # skipped 2: should stay on stream
+        assert pf.redirects == before
+
+    def test_consecutive_duplicates_ignored(self):
+        pf = TemporalStreamPrefetcher()
+        for b in [1, 1, 1, 2]:
+            pf.on_retired_block(b, 0)
+        assert pf._history[-2:] == [1, 2]
+
+    def test_unknown_block_clears_replay(self):
+        pf = TemporalStreamPrefetcher()
+        for b in [1, 2, 3]:
+            pf.on_retired_block(b, 0)
+        pf.on_retired_block(99, 1)
+        assert pf._replay_pos is None
+
+    def test_two_deep_index_avoids_frontier(self):
+        """Redirecting at a hot block must replay a past traversal."""
+        pf = TemporalStreamPrefetcher(lookahead=4)
+        loop = [1, 2, 3, 4]
+        now = 0
+        for _ in range(3):
+            for b in loop:
+                pf.on_retired_block(b, now)
+                now += 20
+        drain(pf, now=now)
+        pf.on_retired_block(9, now)       # fall off stream
+        pf.on_retired_block(1, now + 20)  # redirect at hot block 1
+        emitted = drain(pf, now=now + 100)
+        assert 2 in emitted  # replayed a traversal with a real future
+
+    def test_time_windowed_dedup_allows_reemission(self):
+        pf = TemporalStreamPrefetcher(lookahead=2)
+        pf._emit(10, 0)
+        pf._emit(10, 5)     # in-window: suppressed
+        pf._emit(10, 100)   # out of window: allowed
+        assert drain(pf, now=200) == [10, 10]
+
+    def test_history_memory_bounded(self):
+        pf = TemporalStreamPrefetcher(history_entries=64)
+        for i in range(1000):
+            pf.on_retired_block(i, 0)
+        assert len(pf._history) <= 128
+
+    def test_index_capacity(self):
+        pf = TemporalStreamPrefetcher(index_entries=8)
+        for i in range(100):
+            pf.on_retired_block(i, 0)
+        assert len(pf._index) <= 8
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TemporalStreamPrefetcher(history_entries=1)
+        with pytest.raises(ValueError):
+            TemporalStreamPrefetcher(lookahead=0)
+
+
+class TestPIFvsSHIFT:
+    def test_pif_redirects_immediately(self):
+        pf = PIFPrefetcher(lookahead=4)
+        for b in [1, 2, 3, 4, 5]:
+            pf.on_retired_block(b, 0)
+        drain(pf)
+        pf.on_retired_block(1, 100)
+        assert pf.next_prefetch(100) is not None
+
+    def test_shift_redirect_pays_llc_latency(self):
+        pf = SHIFTPrefetcher(lookahead=4, llc_round_trip=30)
+        for b in [1, 2, 3, 4, 5]:
+            pf.on_retired_block(b, 0)
+        drain(pf)
+        pf.on_retired_block(1, 100)
+        assert pf.next_prefetch(100) is None       # metadata still in flight
+        assert pf.next_prefetch(130) is not None   # available after the LLC trip
+
+    def test_storage_exceeds_200kb(self):
+        assert PIFPrefetcher().storage_bits() / 8 > 200 * 1024

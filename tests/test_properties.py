@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.branch.btb import BasicBlockBTB, BTBEntry, BTBPrefetchBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.config import BTBParams, CacheParams
+from repro.memory.cache import SetAssocCache
+from repro.memory.prefetch_buffer import PrefetchBuffer
+from repro.prefetch.stream import TemporalStreamPrefetcher
+from repro.stats import StatGroup, geometric_mean
+from repro.workloads.isa import block_of, blocks_spanned
+
+blocks = st.integers(min_value=0, max_value=1 << 20)
+pcs = st.builds(lambda x: x * 4, st.integers(min_value=0, max_value=1 << 20))
+
+
+class TestCacheProperties:
+    @given(st.lists(blocks, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, sequence):
+        cache = SetAssocCache(CacheParams(8 * 64 * 2, 2))
+        for b in sequence:
+            cache.insert(b)
+        assert cache.occupancy() <= cache.params.n_blocks
+
+    @given(st.lists(blocks, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_inserted_block_is_resident_until_evicted(self, sequence):
+        cache = SetAssocCache(CacheParams(8 * 64 * 2, 2))
+        for b in sequence:
+            victim = cache.insert(b)
+            assert cache.contains(b)
+            if victim is not None:
+                assert not cache.contains(victim)
+
+    @given(st.lists(blocks, max_size=100), blocks)
+    @settings(max_examples=50, deadline=None)
+    def test_lookup_after_insert_hits_most_recent(self, sequence, probe):
+        cache = SetAssocCache(CacheParams(8 * 64 * 2, 2))
+        for b in sequence:
+            cache.insert(b)
+        cache.insert(probe)
+        assert cache.lookup(probe)
+
+    @given(st.lists(blocks, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_hits_plus_misses_equals_lookups(self, sequence):
+        cache = SetAssocCache(CacheParams(4 * 64 * 2, 2))
+        for b in sequence:
+            cache.lookup(b)
+            cache.insert(b)
+        assert cache.hits + cache.misses == len(sequence)
+
+
+class TestPrefetchBufferProperties:
+    @given(st.lists(blocks, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_capacity_bound(self, sequence):
+        pb = PrefetchBuffer(16)
+        for b in sequence:
+            pb.insert(b)
+        assert len(pb) <= 16
+
+    @given(st.lists(blocks, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_promote_then_absent(self, sequence):
+        pb = PrefetchBuffer(64)
+        for b in sequence:
+            pb.insert(b)
+        target = sequence[0]
+        if target in pb:
+            assert pb.promote(target)
+        assert target not in pb
+
+
+class TestBTBProperties:
+    @given(st.lists(pcs, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_bound(self, sequence):
+        btb = BasicBlockBTB(BTBParams(entries=32, assoc=4))
+        for pc in sequence:
+            btb.insert(pc, BTBEntry(4, 0, pc + 64))
+        assert btb.occupancy() <= 32
+
+    @given(st.lists(pcs, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_last_insert_always_hits(self, sequence):
+        btb = BasicBlockBTB(BTBParams(entries=32, assoc=4))
+        for pc in sequence:
+            btb.insert(pc, BTBEntry(4, 0, 0))
+        assert btb.lookup(sequence[-1]) is not None
+
+    @given(st.lists(pcs, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_prefetch_buffer_take_is_destructive(self, sequence):
+        buf = BTBPrefetchBuffer(8)
+        for pc in sequence:
+            buf.insert(pc, BTBEntry(2, 1, 0))
+        for pc in set(sequence):
+            entry = buf.take(pc)
+            if entry is not None:
+                assert buf.take(pc) is None
+
+
+class TestRASProperties:
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_mirrors_reference_stack_within_capacity(self, ops):
+        ras = ReturnAddressStack(16)
+        reference: list[int] = []
+        for i, op in enumerate(ops):
+            if op == "push":
+                ras.push(i)
+                reference.append(i)
+                if len(reference) > 16:
+                    reference.pop(0)
+            else:
+                got = ras.pop()
+                expected = reference.pop() if reference else None
+                assert got == expected
+
+    @given(st.lists(st.integers(0, 1 << 30), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_snapshot_restore_roundtrip(self, pushes):
+        ras = ReturnAddressStack(64)
+        for value in pushes:
+            ras.push(value)
+        snap = ras.snapshot()
+        ras.push(999)
+        ras.pop()
+        ras.pop()
+        ras.restore(snap)
+        assert ras.snapshot() == snap
+
+
+class TestIsaProperties:
+    @given(pcs, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_blocks_spanned_contiguous_and_correct(self, start, n):
+        spanned = list(blocks_spanned(start, n))
+        assert spanned[0] == block_of(start)
+        assert spanned[-1] == block_of(start + (n - 1) * 4)
+        assert spanned == list(range(spanned[0], spanned[-1] + 1))
+
+    @given(pcs)
+    @settings(max_examples=100, deadline=None)
+    def test_block_of_is_monotone(self, pc):
+        assert block_of(pc) <= block_of(pc + 4)
+
+
+class TestStreamProperties:
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_never_crashes_and_bounds_memory(self, sequence):
+        pf = TemporalStreamPrefetcher(history_entries=32, index_entries=8, lookahead=4)
+        for i, b in enumerate(sequence):
+            pf.on_retired_block(b, i)
+            while pf.next_prefetch(i) is not None:
+                pass
+        assert len(pf._history) <= 64
+        assert len(pf._index) <= 8
+
+    @given(st.lists(st.integers(0, 10), min_size=4, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_history_has_no_consecutive_duplicates(self, sequence):
+        pf = TemporalStreamPrefetcher(history_entries=64, index_entries=16)
+        for i, b in enumerate(sequence):
+            pf.on_retired_block(b, i)
+        for a, b in zip(pf._history, pf._history[1:]):
+            assert a != b
+
+
+class TestStatsProperties:
+    @given(st.dictionaries(st.text(min_size=1, max_size=8), st.integers(-1000, 1000), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_addition(self, values):
+        a = StatGroup(values=values)
+        a.merge(values)
+        for key, value in values.items():
+            assert a[key] == 2 * value
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_gmean_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9

@@ -1,0 +1,107 @@
+"""Unit tests for repro.stats."""
+
+import math
+
+import pytest
+
+from repro.stats import StatGroup, geometric_mean, weighted_mean
+
+
+class TestStatGroup:
+    def test_missing_key_reads_zero(self):
+        assert StatGroup()["nothing"] == 0
+
+    def test_add_creates_and_increments(self):
+        g = StatGroup()
+        g.add("hits")
+        g.add("hits", 4)
+        assert g["hits"] == 5
+
+    def test_setitem_overwrites(self):
+        g = StatGroup()
+        g["x"] = 7
+        g["x"] = 3
+        assert g["x"] == 3
+
+    def test_merge_accumulates(self):
+        a = StatGroup(values={"x": 1, "y": 2})
+        b = StatGroup(values={"y": 3, "z": 4})
+        a.merge(b)
+        assert a["y"] == 5
+        assert a["z"] == 4
+
+    def test_merge_accepts_plain_mapping(self):
+        g = StatGroup(values={"x": 1})
+        g.merge({"x": 2})
+        assert g["x"] == 3
+
+    def test_ratio_safe_on_zero_denominator(self):
+        g = StatGroup(values={"a": 5})
+        assert g.ratio("a", "missing") == 0.0
+
+    def test_ratio(self):
+        g = StatGroup(values={"hits": 3, "lookups": 4})
+        assert g.ratio("hits", "lookups") == pytest.approx(0.75)
+
+    def test_per_kilo(self):
+        g = StatGroup(values={"squashes": 5, "instrs": 1000})
+        assert g.per_kilo("squashes", "instrs") == pytest.approx(5.0)
+
+    def test_subset_filters_by_prefix(self):
+        g = StatGroup(values={"l1i_hits": 1, "l1i_misses": 2, "btb_hits": 3})
+        sub = g.subset("l1i_")
+        assert len(sub) == 2
+        assert "btb_hits" not in sub
+
+    def test_iteration_is_sorted(self):
+        g = StatGroup(values={"b": 1, "a": 2})
+        assert list(g) == ["a", "b"]
+
+    def test_as_dict_is_a_copy(self):
+        g = StatGroup(values={"x": 1})
+        d = g.as_dict()
+        d["x"] = 99
+        assert g["x"] == 1
+
+    def test_contains(self):
+        g = StatGroup(values={"x": 0})
+        assert "x" in g
+        assert "y" not in g
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean([(1.0, 1.0), (3.0, 1.0)]) == pytest.approx(2.0)
+
+    def test_weights_matter(self):
+        assert weighted_mean([(1.0, 3.0), (5.0, 1.0)]) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert weighted_mean([]) == 0.0
+
+    def test_zero_weights_are_safe(self):
+        assert weighted_mean([(5.0, 0.0)]) == 0.0
+
+
+class TestGeometricMean:
+    def test_identity_on_constant(self):
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_less_than_arithmetic_mean(self):
+        values = [1.0, 2.0, 9.0]
+        assert geometric_mean(values) < sum(values) / len(values)
+
+    def test_log_consistency(self):
+        values = [1.5, 2.5, 3.5]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert geometric_mean(values) == pytest.approx(expected)

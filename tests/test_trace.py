@@ -1,0 +1,183 @@
+"""Tests for the dynamic trace walker."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.builder import build_cfg
+from repro.workloads.isa import BranchKind, EntryKind
+from repro.workloads.profiles import APACHE, STREAMING
+from repro.workloads.trace import (
+    REC_ENTRY,
+    REC_KIND,
+    REC_NEXT,
+    REC_NINSTR,
+    REC_START,
+    REC_TAKEN,
+    generate_trace,
+    summarize,
+    taken_conditional_distances,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return build_cfg(APACHE.scaled(0.1))
+
+
+@pytest.fixture(scope="module")
+def trace(cfg):
+    return generate_trace(cfg, 40_000, seed=7)
+
+
+class TestWalkerBasics:
+    def test_length_reached(self, trace):
+        assert trace.n_instrs >= 40_000
+
+    def test_deterministic(self, cfg, trace):
+        again = generate_trace(cfg, 40_000, seed=7)
+        assert again.records == trace.records
+
+    def test_seed_changes_walk(self, cfg, trace):
+        other = generate_trace(cfg, 40_000, seed=8)
+        assert other.records != trace.records
+
+    def test_rejects_zero_length(self, cfg):
+        with pytest.raises(WorkloadError):
+            generate_trace(cfg, 0)
+
+    def test_records_reference_real_blocks(self, cfg, trace):
+        for rec in trace.records[:500]:
+            assert rec[REC_START] in cfg.blocks
+
+    def test_record_sizes_match_static(self, cfg, trace):
+        for rec in trace.records[:500]:
+            assert rec[REC_NINSTR] == cfg.blocks[rec[REC_START]].n_instrs
+
+
+class TestControlFlowConsistency:
+    def test_successors_are_consistent(self, cfg, trace):
+        """next_pc of each record equals start of the next record."""
+        for cur, nxt in zip(trace.records[:2000], trace.records[1:2001]):
+            assert cur[REC_NEXT] == nxt[REC_START]
+
+    def test_not_taken_goes_to_fallthrough(self, cfg, trace):
+        for rec in trace.records[:2000]:
+            if not rec[REC_TAKEN]:
+                blk = cfg.blocks[rec[REC_START]]
+                assert rec[REC_NEXT] == blk.fallthrough
+
+    def test_direct_branches_go_to_static_target(self, cfg, trace):
+        for rec in trace.records[:2000]:
+            blk = cfg.blocks[rec[REC_START]]
+            if rec[REC_TAKEN] and blk.kind in (BranchKind.COND, BranchKind.JUMP,
+                                               BranchKind.CALL):
+                assert rec[REC_NEXT] == blk.target
+
+    def test_indirect_targets_come_from_target_set(self, cfg, trace):
+        for rec in trace.records[:5000]:
+            blk = cfg.blocks[rec[REC_START]]
+            if blk.kind in (BranchKind.IND_CALL, BranchKind.IND_JUMP):
+                allowed = {t for t, _ in blk.indirect_targets}
+                assert rec[REC_NEXT] in allowed
+
+    def test_unconditional_always_taken(self, trace):
+        for rec in trace.records[:2000]:
+            if rec[REC_KIND] != BranchKind.COND:
+                assert rec[REC_TAKEN] == 1
+
+    def test_calls_and_returns_balance(self, cfg, trace):
+        """Returns always resume at the fall-through of a prior call."""
+        stack = []
+        for rec in trace.records:
+            blk = cfg.blocks[rec[REC_START]]
+            if blk.kind in (BranchKind.CALL, BranchKind.IND_CALL):
+                stack.append(blk.fallthrough)
+            elif blk.kind == BranchKind.RET and stack:
+                assert rec[REC_NEXT] == stack.pop()
+
+
+class TestEntryKinds:
+    def test_first_record_sequential(self, trace):
+        assert trace.records[0][REC_ENTRY] == EntryKind.SEQUENTIAL
+
+    def test_entry_kind_matches_previous_branch(self, trace):
+        for cur, nxt in zip(trace.records[:2000], trace.records[1:2001]):
+            if not cur[REC_TAKEN]:
+                expected = EntryKind.SEQUENTIAL
+            elif cur[REC_KIND] == BranchKind.COND:
+                expected = EntryKind.CONDITIONAL
+            else:
+                expected = EntryKind.UNCONDITIONAL
+            assert nxt[REC_ENTRY] == expected
+
+
+class TestLoopsAndCorrelation:
+    def test_loop_branches_repeat_taken(self, cfg, trace):
+        """A loop branch's taken-run should approximate its fixed trips."""
+        from collections import defaultdict
+        runs = defaultdict(list)
+        current = defaultdict(int)
+        for rec in trace.records:
+            blk = cfg.blocks[rec[REC_START]]
+            if not blk.is_loop:
+                continue
+            if rec[REC_TAKEN]:
+                current[blk.start] += 1
+            else:
+                runs[blk.start].append(current[blk.start])
+                current[blk.start] = 0
+        # Trips are fixed per site: every completed activation has equal length.
+        checked = 0
+        for site, lengths in runs.items():
+            if len(lengths) >= 2:
+                assert len(set(lengths)) == 1, f"site {site:#x} trips vary: {lengths}"
+                checked += 1
+        assert checked > 0
+
+    def test_correlated_branches_follow_source(self, cfg, trace):
+        last = {}
+        checked = 0
+        for rec in trace.records:
+            blk = cfg.blocks[rec[REC_START]]
+            if blk.kind == BranchKind.COND and blk.corr_src and blk.corr_src in last:
+                expected = last[blk.corr_src] ^ (1 if blk.corr_invert else 0)
+                assert rec[REC_TAKEN] == expected
+                checked += 1
+            if blk.kind == BranchKind.COND:
+                last[rec[REC_START]] = rec[REC_TAKEN]
+        assert checked > 0
+
+
+class TestSummary:
+    def test_counts_add_up(self, trace):
+        s = summarize(trace)
+        assert s.n_records == len(trace.records)
+        assert sum(s.kind_counts.values()) == s.n_records
+        assert s.cond_frac + s.uncond_frac == pytest.approx(1.0)
+
+    def test_footprint_positive(self, trace):
+        s = summarize(trace)
+        assert s.footprint_kb > 0
+        assert s.unique_basic_blocks > 0
+
+    def test_avg_bb_consistent(self, trace):
+        s = summarize(trace)
+        assert s.avg_bb_instrs == pytest.approx(trace.n_instrs / len(trace.records))
+
+
+class TestDistanceHistogram:
+    def test_figure4_property_holds(self):
+        cfg = build_cfg(STREAMING.scaled(0.15))
+        trace = generate_trace(cfg, 60_000, seed=3)
+        hist = taken_conditional_distances(trace)
+        total = sum(hist.values())
+        within4 = sum(v for d, v in hist.items() if d <= 4)
+        assert within4 / total > 0.85  # paper: ~92%
+
+    def test_histogram_counts_match_taken_conds(self, cfg, trace):
+        hist = taken_conditional_distances(trace)
+        taken_conds = sum(
+            1 for r in trace.records
+            if r[REC_KIND] == BranchKind.COND and r[REC_TAKEN]
+        )
+        assert sum(hist.values()) == taken_conds
