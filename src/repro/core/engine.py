@@ -29,6 +29,7 @@ cycle model of the paper's core (Table I) specialized per mechanism by
 from __future__ import annotations
 
 import bisect
+from collections import deque
 
 from ..branch.btb import BasicBlockBTB, BTBEntry, BTBPrefetchBuffer
 from ..branch.predictors import make_predictor
@@ -166,12 +167,11 @@ class FrontEndEngine:
         fetch_ready = 0
         stall_cls = -1                # classification while stalled (or -1)
         last_block = -1               # last L1-I block demanded
-        prev_stream_block = -1        # previous block for discontinuity calc
 
         # --- back end
-        decode_q: list = []           # (ready, n, start, wp, cause)
+        decode_q: deque = deque()     # (ready, n, start, wp, cause)
         decode_instrs = 0
-        rob: list = []                # [n_left, wp, start, n_instrs]
+        rob: deque = deque()          # [n_left, wp, start, n_instrs]
         rob_instrs = 0
         squash_at = -1                # scheduled squash cycle (-1 = none)
         dispatch_stall_until = 0      # data-side LSQ backpressure model
@@ -179,7 +179,7 @@ class FrontEndEngine:
         # --- prefetch engine (decoupled)
         probe_q: list[int] = []       # FIFO of blocks to probe
         probe_pos = 0
-        throttle_q: list[int] = []
+        throttle_q: deque[int] = deque()
         recent_probe: dict[int, None] = {}
 
         # --- stats
@@ -212,6 +212,7 @@ class FrontEndEngine:
                 "btb_pfb_hits": btb_buf.hits,
                 "btb_pfb_inserts": btb_buf.inserts,
                 "ftq_pushes": ftq.pushed,
+                "ftq_flushes": ftq.flushes,
             }
             counters.update(mem.counters())
             return counters
@@ -247,11 +248,12 @@ class FrontEndEngine:
                 stall_cls = -1
                 last_block = -1
                 if decode_q:
-                    kept = [g for g in decode_q if not g[3]]
+                    kept = deque(g for g in decode_q if not g[3])
                     decode_instrs -= sum(g[1] for g in decode_q) - sum(
                         g[1] for g in kept
                     )
                     decode_q = kept
+                # Wrong-path tail flush: pop younger entries off the right.
                 while rob and rob[-1][1]:
                     rob_instrs -= rob.pop()[0]
                 if ras_snapshot is not None:
@@ -265,7 +267,7 @@ class FrontEndEngine:
                 bpu_stall_until = cycle + redirect_bubble
                 probe_q = []
                 probe_pos = 0
-                throttle_q = []
+                throttle_q = deque()
 
             # ---- 3. retire ---------------------------------------------------
             budget = commit_width
@@ -279,7 +281,7 @@ class FrontEndEngine:
                 retired += take
                 budget -= take
                 if head[0] == 0:
-                    rob.pop(0)
+                    rob.popleft()
                     if prefetcher is not None:
                         start = head[2]
                         first = start >> 6
@@ -298,7 +300,7 @@ class FrontEndEngine:
                 group = decode_q[0]
                 if rob_instrs + group[1] > rob_size:
                     break
-                decode_q.pop(0)
+                decode_q.popleft()
                 decode_instrs -= group[1]
                 start = group[2]
                 rob.append([group[1], group[3], start, group[1]])
@@ -345,7 +347,6 @@ class FrontEndEngine:
                                 prefetcher.on_demand_miss(
                                     block, cycle, last_block, discontinuity
                                 )
-                        prev_stream_block = last_block
                         last_block = block
                         if ready > cycle:
                             fetch_ready = ready
@@ -595,7 +596,7 @@ class FrontEndEngine:
 
             # ---- 7. prefetch issue (1 probe/cycle max) -----------------------
             if throttle_q:
-                mem.prefetch_probe(throttle_q.pop(0), cycle)
+                mem.prefetch_probe(throttle_q.popleft(), cycle)
             elif bmiss is not None:
                 pass  # probe port carries the BTB miss probe traffic
             elif decoupled:

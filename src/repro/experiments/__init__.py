@@ -26,8 +26,11 @@ from .common import (
     WORKLOAD_ORDER,
     ExperimentResult,
     ExperimentScale,
+    baseline_config,
+    baseline_for,
     clear_run_cache,
     get_scale,
+    precompute,
     run_cached,
 )
 
@@ -59,8 +62,11 @@ __all__ = [
     "ExperimentScale",
     "SCALES",
     "WORKLOAD_ORDER",
+    "baseline_config",
+    "baseline_for",
     "clear_run_cache",
     "get_scale",
+    "precompute",
     "run_all",
     "run_cached",
 ]

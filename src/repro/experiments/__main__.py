@@ -3,6 +3,26 @@
 Usage::
 
     python -m repro.experiments [quick|default|full] [exhibit ...]
+                                [--jobs N] [--cache-dir PATH]
+
+Options:
+
+``--jobs N``
+    Execute uncached simulation runs on an ``N``-worker process pool.
+    Tables are bit-identical to a serial run — parallelism only changes
+    where a simulation executes, never its inputs or the result ordering.
+    Defaults to ``$REPRO_JOBS`` (else 1, fully serial).
+
+``--cache-dir PATH``
+    Persist every simulation result as a JSON record under ``PATH`` (see
+    ``repro.runtime.cache`` for the layout; records are versioned by an
+    engine schema tag, so results from an older engine are never reused).
+    A warm rerun against a populated cache skips simulation entirely.
+    Defaults to ``$REPRO_CACHE_DIR`` (else no disk cache).
+
+The positional scale (or ``$REPRO_SCALE``) only chooses how big a grid each
+exhibit assembles; it composes freely with both flags — each scale's runs
+are distinct cache entries.
 """
 
 from __future__ import annotations
@@ -10,12 +30,44 @@ from __future__ import annotations
 import sys
 import time
 
+from ..runtime import configure_runtime, get_runtime
 from . import EXPERIMENTS
 from .common import SCALES
 
 
+def _parse_flag(args: list[str], name: str) -> str | None:
+    """Pop ``--name VALUE`` or ``--name=VALUE`` from ``args`` (last wins)."""
+    value: str | None = None
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == name:
+            if i + 1 >= len(args):
+                raise SystemExit(f"{name} requires a value")
+            value = args[i + 1]
+            del args[i : i + 2]
+        elif arg.startswith(name + "="):
+            value = arg[len(name) + 1 :]
+            del args[i]
+        else:
+            i += 1
+    return value
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    try:
+        jobs_arg = _parse_flag(args, "--jobs")
+        cache_dir = _parse_flag(args, "--cache-dir")
+        jobs = int(jobs_arg) if jobs_arg is not None else None
+    except ValueError:
+        print("--jobs expects an integer", file=sys.stderr)
+        return 2
+    if jobs is not None and jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    if jobs is not None or cache_dir is not None:
+        configure_runtime(jobs=jobs, cache_dir=cache_dir)
     scale = None
     if args and args[0] in SCALES:
         scale = args.pop(0)
@@ -32,6 +84,12 @@ def main(argv: list[str] | None = None) -> int:
         print(result.to_table())
         print(f"[{name} regenerated in {elapsed:.1f}s]")
         print()
+    runtime = get_runtime()
+    if runtime.disk is not None:
+        print(
+            f"[cache: {runtime.disk.hits} disk hits, "
+            f"{runtime.executed} simulated, jobs={runtime.jobs}]"
+        )
     return 0
 
 

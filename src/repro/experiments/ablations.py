@@ -18,14 +18,36 @@ from ..stats import geometric_mean
 from .common import (
     WORKLOAD_ORDER,
     ExperimentResult,
+    baseline_config,
     baseline_for,
     get_scale,
+    precompute,
     run_cached,
 )
 
 BTB_BUFFER_SIZES: tuple[int, ...] = (1, 8, 32, 128)
 FTQ_DEPTHS: tuple[int, ...] = (8, 16, 32, 64)
 PREDECODE_LATENCIES: tuple[int, ...] = (1, 3, 6)
+
+
+def _knob_configs() -> list[tuple[str, int, object]]:
+    """Every (knob, value, config) point of the ablation sweep."""
+    points: list[tuple[str, int, object]] = []
+    for size in BTB_BUFFER_SIZES:
+        cfg = make_config("boomerang")
+        cfg = replace(
+            cfg, prefetch=replace(cfg.prefetch, btb_prefetch_buffer_entries=size)
+        )
+        points.append(("btb_prefetch_buffer", size, cfg))
+    for depth in FTQ_DEPTHS:
+        cfg = make_config("boomerang")
+        points.append(("ftq_depth", depth, replace(cfg, core=replace(cfg.core, ftq_depth=depth))))
+    for latency in PREDECODE_LATENCIES:
+        cfg = make_config("boomerang")
+        points.append(
+            ("predecode_latency", latency, replace(cfg, core=replace(cfg.core, predecode_latency=latency)))
+        )
+    return points
 
 
 def _gmean_speedup(cfg, names, scale) -> float:
@@ -45,20 +67,12 @@ def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None)
         title="Boomerang design ablations (gmean speedup over baseline)",
         headers=["knob", "value", "gmean_speedup"],
     )
-    for size in BTB_BUFFER_SIZES:
-        cfg = make_config("boomerang")
-        cfg = replace(
-            cfg, prefetch=replace(cfg.prefetch, btb_prefetch_buffer_entries=size)
-        )
-        result.rows.append(["btb_prefetch_buffer", size, _gmean_speedup(cfg, names, scale)])
-    for depth in FTQ_DEPTHS:
-        cfg = make_config("boomerang")
-        cfg = replace(cfg, core=replace(cfg.core, ftq_depth=depth))
-        result.rows.append(["ftq_depth", depth, _gmean_speedup(cfg, names, scale)])
-    for latency in PREDECODE_LATENCIES:
-        cfg = make_config("boomerang")
-        cfg = replace(cfg, core=replace(cfg.core, predecode_latency=latency))
-        result.rows.append(["predecode_latency", latency, _gmean_speedup(cfg, names, scale)])
+    points = _knob_configs()
+    pairs = [(name, baseline_config()) for name in names]
+    pairs += [(name, cfg) for _, _, cfg in points for name in names]
+    precompute(pairs, scale)
+    for knob, value, cfg in points:
+        result.rows.append([knob, value, _gmean_speedup(cfg, names, scale)])
     return result
 
 

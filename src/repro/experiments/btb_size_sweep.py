@@ -11,8 +11,10 @@ from ..core.mechanisms import make_config
 from .common import (
     WORKLOAD_ORDER,
     ExperimentResult,
+    baseline_config,
     baseline_for,
     get_scale,
+    precompute,
     run_cached,
 )
 
@@ -26,6 +28,17 @@ def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None)
         title="Figure 5: FDIP stall-cycle coverage vs BTB size and LLC latency",
         headers=["btb"] + [f"llc={lat}" for lat in latencies],
     )
+    pairs = []
+    for entries in scale.btb_sizes:
+        for lat in latencies:
+            for name in names:
+                pairs.append(
+                    (name, baseline_config(btb_entries=entries, llc_round_trip=lat))
+                )
+                pairs.append(
+                    (name, make_config("fdip").with_btb_entries(entries).with_llc_latency(lat))
+                )
+    precompute(pairs, scale)
     for entries in sorted(scale.btb_sizes, reverse=True):
         row: list[object] = [f"{entries // 1024}K"]
         for lat in latencies:

@@ -5,6 +5,27 @@ CI-speed runs or ``REPRO_SCALE=full`` for the most faithful (slowest)
 regeneration. All scales preserve the footprint:structure over-subscription
 ratios (see DESIGN.md section 5.6); quick runs shrink trace length and
 sweep density, not the microarchitecture.
+
+Execution and caching are owned by :mod:`repro.runtime`:
+
+* **Cache keys are sound.** Every run is keyed by ``(workload, scale,
+  config-digest)`` where the digest hashes the *entire* frozen
+  ``SimConfig`` dataclass tree (``repro.runtime.config_digest``). There is
+  no hand-maintained field list — a config knob added tomorrow changes the
+  key automatically, so two configs that differ anywhere can never collide.
+* **Results can persist across processes.** Point ``REPRO_CACHE_DIR`` (or
+  ``python -m repro.experiments --cache-dir``) at a directory and every
+  result is stored as a JSON record under a schema-version tag
+  (``repro.runtime.cache.SCHEMA_TAG``); warm reruns skip simulation
+  entirely. Bumping the tag orphans stale records rather than reusing them.
+* **Sweeps run in parallel.** Experiment modules assemble their full
+  (workload, config) job list and call :func:`precompute`; with
+  ``REPRO_JOBS``/``--jobs`` > 1 the misses execute on a process pool.
+  Ordering and values are deterministic — parallel runs are bit-identical
+  to serial ones. ``REPRO_SCALE`` only selects the grid each module
+  assembles; it composes freely with ``--jobs``/``--cache-dir`` (each
+  scale's runs are distinct cache entries, since the workload scale is
+  part of the key).
 """
 
 from __future__ import annotations
@@ -16,9 +37,8 @@ from ..analysis.tables import format_table
 from ..config import SimConfig
 from ..core.mechanisms import make_config
 from ..core.results import SimulationResult
-from ..core.simulator import Simulator
+from ..runtime import SimJob, get_runtime
 from ..workloads.profiles import ALL_PROFILES
-from ..workloads.workload import load_workload
 
 #: Paper-order workload names.
 WORKLOAD_ORDER: tuple[str, ...] = tuple(p.name for p in ALL_PROFILES)
@@ -80,26 +100,8 @@ def get_scale(name: str | None = None) -> ExperimentScale:
 
 # ---------------------------------------------------------------------------
 # Cached simulation runs (figures 7/8/9 share one grid; sweeps reuse bases).
+# All execution/caching delegates to the process-wide repro.runtime instance.
 # ---------------------------------------------------------------------------
-
-_RUN_CACHE: dict[tuple, SimulationResult] = {}
-_RUN_CACHE_LIMIT = 4096
-
-
-def _config_key(config: SimConfig) -> tuple:
-    return (
-        config.mechanism,
-        config.btb.entries,
-        config.predictor.kind,
-        config.core.ftq_depth,
-        config.prefetch.throttle_blocks,
-        config.prefetch.btb_prefetch_buffer_entries,
-        config.core.predecode_latency,
-        config.memory.llc_round_trip_override,
-        config.memory.noc.kind,
-        config.perfect_l1i,
-        config.perfect_btb,
-    )
 
 
 def run_cached(
@@ -107,21 +109,51 @@ def run_cached(
     config: SimConfig,
     workload_scale: float = 1.0,
 ) -> SimulationResult:
-    """Run (or fetch) one simulation; memoized per process."""
-    key = (workload_name, workload_scale, _config_key(config))
-    hit = _RUN_CACHE.get(key)
-    if hit is not None:
-        return hit
-    workload = load_workload(workload_name, scale=workload_scale)
-    result = Simulator(workload, config).run()
-    if len(_RUN_CACHE) >= _RUN_CACHE_LIMIT:
-        _RUN_CACHE.pop(next(iter(_RUN_CACHE)))
-    _RUN_CACHE[key] = result
-    return result
+    """Run (or fetch) one simulation via the shared experiment runtime.
+
+    Keyed by the exhaustive config digest; repeated in-process calls with
+    an equal config return the identical result object.
+    """
+    return get_runtime().run_one(workload_name, config, workload_scale)
+
+
+def precompute(
+    pairs: list[tuple[str, SimConfig]],
+    scale: ExperimentScale,
+) -> None:
+    """Execute a whole (workload, config) job list through the runtime.
+
+    Sweep modules call this with every point they are about to read so the
+    runtime can batch the cache misses across a process pool; the
+    point-by-point ``run_cached`` calls that follow are then pure memo hits.
+    Duplicates are fine — the runtime dedupes by key.
+    """
+    get_runtime().run_many(
+        [SimJob(name, cfg, scale.workload_scale) for name, cfg in pairs]
+    )
 
 
 def clear_run_cache() -> None:
-    _RUN_CACHE.clear()
+    """Drop the in-process memo (any disk cache stays intact)."""
+    get_runtime().clear_memo()
+
+
+def baseline_config(
+    btb_entries: int | None = None,
+    llc_round_trip: int | None = None,
+    noc_kind: str | None = None,
+) -> SimConfig:
+    """The matched no-prefetch baseline config for the given overrides."""
+    cfg = make_config("none")
+    if btb_entries is not None:
+        cfg = cfg.with_btb_entries(btb_entries)
+    if llc_round_trip is not None:
+        cfg = cfg.with_llc_latency(llc_round_trip)
+    if noc_kind is not None:
+        cfg = replace(
+            cfg, memory=replace(cfg.memory, noc=replace(cfg.memory.noc, kind=noc_kind))
+        )
+    return cfg
 
 
 def baseline_for(
@@ -132,15 +164,7 @@ def baseline_for(
     noc_kind: str | None = None,
 ) -> SimulationResult:
     """The matched no-prefetch baseline used by coverage/speedup metrics."""
-    cfg = make_config("none")
-    if btb_entries is not None:
-        cfg = cfg.with_btb_entries(btb_entries)
-    if llc_round_trip is not None:
-        cfg = cfg.with_llc_latency(llc_round_trip)
-    if noc_kind is not None:
-        cfg = replace(
-            cfg, memory=replace(cfg.memory, noc=replace(cfg.memory.noc, kind=noc_kind))
-        )
+    cfg = baseline_config(btb_entries, llc_round_trip, noc_kind)
     return run_cached(workload_name, cfg, scale.workload_scale)
 
 

@@ -14,13 +14,19 @@ from ..core.mechanisms import make_config
 from .common import (
     WORKLOAD_ORDER,
     ExperimentResult,
+    baseline_config,
     baseline_for,
     get_scale,
+    precompute,
     run_cached,
 )
-
 #: Near-ideal BTB used to isolate the direction predictor (paper III-A).
 IDEAL_BTB_ENTRIES = 32768
+
+
+def _series_config(mechanism: str, predictor: str, lat: int):
+    cfg = make_config(mechanism).with_btb_entries(IDEAL_BTB_ENTRIES)
+    return cfg.with_llc_latency(lat).with_predictor(predictor)
 
 #: (label, mechanism, predictor kind) series in paper order.
 SERIES: tuple[tuple[str, str, str], ...] = (
@@ -40,6 +46,15 @@ def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None)
         title="Figure 2: fraction of stall cycles covered vs LLC latency (32K BTB)",
         headers=["series"] + [f"llc={lat}" for lat in latencies],
     )
+    pairs = []
+    for lat in latencies:
+        for name in names:
+            pairs.append(
+                (name, baseline_config(btb_entries=IDEAL_BTB_ENTRIES, llc_round_trip=lat))
+            )
+            for _, mechanism, predictor in SERIES:
+                pairs.append((name, _series_config(mechanism, predictor, lat)))
+    precompute(pairs, scale)
     for label, mechanism, predictor in SERIES:
         row: list[object] = [label]
         for lat in latencies:
@@ -49,9 +64,9 @@ def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None)
                 base = baseline_for(
                     name, scale, btb_entries=IDEAL_BTB_ENTRIES, llc_round_trip=lat
                 )
-                cfg = make_config(mechanism).with_btb_entries(IDEAL_BTB_ENTRIES)
-                cfg = cfg.with_llc_latency(lat).with_predictor(predictor)
-                res = run_cached(name, cfg, scale.workload_scale)
+                res = run_cached(
+                    name, _series_config(mechanism, predictor, lat), scale.workload_scale
+                )
                 covered += max(0.0, base.stall_cycles - res.stall_cycles)
                 base_total += base.stall_cycles
             row.append(covered / base_total if base_total else 0.0)

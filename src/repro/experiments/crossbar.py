@@ -15,8 +15,10 @@ from ..stats import geometric_mean
 from .common import (
     WORKLOAD_ORDER,
     ExperimentResult,
+    baseline_config,
     baseline_for,
     get_scale,
+    precompute,
     run_cached,
 )
 
@@ -47,6 +49,9 @@ def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None)
         headers=["workload"] + [LABELS[m] for m in MECHS],
     )
     per_mech: dict[str, list[float]] = {m: [] for m in MECHS}
+    pairs = [(name, baseline_config(noc_kind="crossbar")) for name in names]
+    pairs += [(name, _crossbar(make_config(m))) for name in names for m in MECHS]
+    precompute(pairs, scale)
     for name in names:
         base = baseline_for(name, scale, noc_kind="crossbar")
         row: list[object] = [name]

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from ..core.mechanisms import FIGURE_MECHANISMS, make_config
 from ..core.results import SimulationResult
-from .common import WORKLOAD_ORDER, ExperimentScale, baseline_for, run_cached
+from .common import (
+    WORKLOAD_ORDER,
+    ExperimentScale,
+    baseline_config,
+    precompute,
+    run_cached,
+)
 
 #: Display labels matching the paper's figure legends.
 MECHANISM_LABELS: dict[str, str] = {
@@ -26,15 +32,22 @@ def run_grid(
 ) -> dict[tuple[str, str], SimulationResult]:
     """Run every (workload, mechanism) pair, plus the 'none' baseline.
 
-    Results are memoized process-wide, so the three figures sharing this
-    grid pay for it once.
+    The whole grid is submitted to the experiment runtime as one batch, so
+    uncached cells execute in parallel under ``--jobs``; results are
+    memoized process-wide and the three figures sharing this grid pay for
+    it once.
     """
     names = workloads if workloads is not None else WORKLOAD_ORDER
-    grid: dict[tuple[str, str], SimulationResult] = {}
+    cells: list[tuple[str, str]] = []
+    pairs = []
     for wl in names:
-        grid[(wl, "none")] = baseline_for(wl, scale)
+        cells.append((wl, "none"))
+        pairs.append((wl, baseline_config()))
         for mech in mechanisms:
-            grid[(wl, mech)] = run_cached(
-                wl, make_config(mech), scale.workload_scale
-            )
-    return grid
+            cells.append((wl, mech))
+            pairs.append((wl, make_config(mech)))
+    precompute(pairs, scale)
+    return {
+        cell: run_cached(pair[0], pair[1], scale.workload_scale)
+        for cell, pair in zip(cells, pairs)
+    }

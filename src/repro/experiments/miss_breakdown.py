@@ -15,8 +15,10 @@ from ..core.mechanisms import make_config
 from .common import (
     WORKLOAD_ORDER,
     ExperimentResult,
+    baseline_config,
     baseline_for,
     get_scale,
+    precompute,
     run_cached,
 )
 
@@ -41,9 +43,13 @@ def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None)
         title="Figure 3: miss-cycle breakdown, % of no-prefetch baseline miss cycles",
         headers=["config", "sequential%", "conditional%", "unconditional%", "total%"],
     )
+    configs = _configs(scale)
+    pairs = [(name, baseline_config()) for name in names]
+    pairs += [(name, cfg) for _, cfg in configs for name in names]
+    precompute(pairs, scale)
     base_totals = {name: baseline_for(name, scale).stall_cycles for name in names}
     denom = sum(base_totals.values())
-    for label, cfg in _configs(scale):
+    for label, cfg in configs:
         seq = cond = uncond = 0.0
         for name in names:
             res = run_cached(name, cfg, scale.workload_scale)

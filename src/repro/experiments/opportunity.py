@@ -8,7 +8,13 @@ with the OLTP workloads (DB2 especially) showing the largest BTB gains.
 from __future__ import annotations
 
 from ..core.mechanisms import make_config
-from .common import WORKLOAD_ORDER, ExperimentResult, get_scale, run_cached
+from .common import (
+    WORKLOAD_ORDER,
+    ExperimentResult,
+    get_scale,
+    precompute,
+    run_cached,
+)
 
 
 def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
@@ -21,6 +27,16 @@ def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None)
     )
     speedups_l1i = []
     speedups_both = []
+    pairs = [
+        (name, cfg)
+        for name in names
+        for cfg in (
+            make_config("none"),
+            make_config("none", perfect_l1i=True),
+            make_config("none", perfect_l1i=True, perfect_btb=True),
+        )
+    ]
+    precompute(pairs, scale)
     for name in names:
         base = run_cached(name, make_config("none"), scale.workload_scale)
         pl1i = run_cached(

@@ -15,15 +15,21 @@ from ..stats import geometric_mean
 from .common import (
     WORKLOAD_ORDER,
     ExperimentResult,
+    baseline_config,
     baseline_for,
     get_scale,
+    precompute,
     run_cached,
 )
-
 #: Next-N policies in paper order.
 POLICIES: tuple[int, ...] = (0, 1, 2, 4, 8)
 
 POLICY_LABELS = {0: "None", 1: "1 Block", 2: "2 Blocks", 4: "4 Blocks", 8: "8 Blocks"}
+
+
+def _policy_config(policy: int):
+    cfg = make_config("boomerang")
+    return replace(cfg, prefetch=replace(cfg.prefetch, throttle_blocks=policy))
 
 
 def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
@@ -35,13 +41,14 @@ def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None)
         headers=["workload"] + [POLICY_LABELS[p] for p in POLICIES],
     )
     per_policy: dict[int, list[float]] = {p: [] for p in POLICIES}
+    pairs = [(name, baseline_config()) for name in names]
+    pairs += [(name, _policy_config(p)) for name in names for p in POLICIES]
+    precompute(pairs, scale)
     for name in names:
         base = baseline_for(name, scale)
         row: list[object] = [name]
         for policy in POLICIES:
-            cfg = make_config("boomerang")
-            cfg = replace(cfg, prefetch=replace(cfg.prefetch, throttle_blocks=policy))
-            res = run_cached(name, cfg, scale.workload_scale)
+            res = run_cached(name, _policy_config(policy), scale.workload_scale)
             speedup = res.speedup_over(base)
             per_policy[policy].append(speedup)
             row.append(speedup)

@@ -1,0 +1,32 @@
+"""Experiment runtime: sound config hashing, disk cache, parallel runner.
+
+Public surface:
+
+* :func:`config_digest` — exhaustive hash of a full ``SimConfig`` tree,
+* :class:`ResultCache` — persistent JSON result store (``SCHEMA_TAG``-versioned),
+* :class:`SimJob` / :class:`ExperimentRuntime` — batched (parallel) execution,
+* :func:`get_runtime` / :func:`configure_runtime` — process-wide instance.
+"""
+
+from .cache import SCHEMA_TAG, ResultCache
+from .confighash import canonicalize, config_digest, scale_token
+from .runner import (
+    ExperimentRuntime,
+    SimJob,
+    configure_runtime,
+    execute_job,
+    get_runtime,
+)
+
+__all__ = [
+    "SCHEMA_TAG",
+    "ExperimentRuntime",
+    "ResultCache",
+    "SimJob",
+    "canonicalize",
+    "config_digest",
+    "configure_runtime",
+    "execute_job",
+    "get_runtime",
+    "scale_token",
+]

@@ -1,0 +1,136 @@
+"""Persistent on-disk cache of simulation results.
+
+Layout (all JSON, one file per run)::
+
+    <cache_dir>/
+      <SCHEMA_TAG>/                 # e.g. "engine-v1" — bumped on any change
+        <workload>/                 #     to engine semantics or counters
+          s<scale>__<hash16>.json   # scale token + config-digest prefix
+
+Each record stores the *full* config digest, so a (vanishingly unlikely)
+filename-prefix collision is detected and treated as a miss rather than
+returning a wrong result. Records are written atomically (temp file +
+``os.replace``) so parallel writers and interrupted runs can never leave a
+truncated record behind; a corrupt or unreadable record is a miss, never an
+error.
+
+:data:`SCHEMA_TAG` versions every record and is derived automatically: a
+manual major tag plus a fingerprint of the simulator-side source tree
+(everything under ``repro`` except the ``experiments``/``runtime`` and
+``analysis`` layers — consumers of raw results, which cannot affect the
+cached counters themselves). Any change to engine semantics,
+counters, workload generation or config defaults therefore orphans old
+records without anyone having to remember a version bump — the same
+no-hand-maintained-list principle as the config digest. Stale-tag records
+are simply never read (they live under the old tag's directory) and can be
+deleted at leisure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..core.results import SimulationResult
+
+#: Bump on cache *record format* changes; semantic changes are fingerprinted.
+_SCHEMA_MAJOR = "engine-v1"
+
+#: Subpackages that cannot change simulation results (consumers of them).
+_NON_SEMANTIC_DIRS = ("experiments", "runtime", "analysis")
+
+
+def _source_fingerprint() -> str:
+    """Hash every simulator-side source file under the ``repro`` package."""
+    pkg_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(pkg_root.rglob("*.py")):
+        rel = path.relative_to(pkg_root)
+        if rel.parts[0] in _NON_SEMANTIC_DIRS:
+            continue
+        digest.update(str(rel).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:12]
+
+
+#: Versions every record; recomputed from source so it can never go stale.
+SCHEMA_TAG = f"{_SCHEMA_MAJOR}-{_source_fingerprint()}"
+
+#: Digest prefix length used in filenames (full digest verified on read).
+_NAME_DIGEST_CHARS = 16
+
+
+class ResultCache:
+    """Directory-backed store of :class:`SimulationResult` records."""
+
+    def __init__(self, cache_dir: str | os.PathLike):
+        self.root = Path(cache_dir) / SCHEMA_TAG
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, workload: str, scale_tok: str, digest: str) -> Path:
+        name = f"s{scale_tok}__{digest[:_NAME_DIGEST_CHARS]}.json"
+        return self.root / workload / name
+
+    def get(
+        self, workload: str, scale_tok: str, digest: str
+    ) -> SimulationResult | None:
+        """Return the cached result, or ``None`` on miss/corruption."""
+        path = self._path(workload, scale_tok, digest)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            record.get("schema") != SCHEMA_TAG
+            or record.get("config_digest") != digest
+            or record.get("workload") != workload
+            or record.get("scale") != scale_tok
+            or not isinstance(record.get("raw"), dict)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return SimulationResult(
+            workload=record["workload"],
+            mechanism=record.get("mechanism", ""),
+            raw=record["raw"],
+        )
+
+    def put(
+        self,
+        workload: str,
+        scale_tok: str,
+        digest: str,
+        result: SimulationResult,
+    ) -> None:
+        """Atomically persist one result record."""
+        path = self._path(workload, scale_tok, digest)
+        record = {
+            "schema": SCHEMA_TAG,
+            "workload": workload,
+            "scale": scale_tok,
+            "config_digest": digest,
+            "mechanism": result.mechanism,
+            "raw": result.raw,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(record, fh, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return  # a read-only or full cache dir degrades to no caching
+        self.stores += 1

@@ -1,0 +1,59 @@
+"""Canonical, exhaustive hashing of :class:`~repro.config.SimConfig` trees.
+
+The experiment layer memoizes simulation runs keyed by their configuration.
+A hand-picked field tuple silently goes stale the moment anyone adds a
+config knob (the pre-runtime cache missed ``core.fetch_width``,
+``core.data_stall_cycles``, L1-I geometry, predictor table sizes, ...), so
+two different configs could return each other's results. Instead, the key
+here is derived mechanically by walking the *entire* frozen dataclass tree:
+every field of every nested params object contributes, and a newly added
+field changes the hash automatically.
+
+The canonical form is a nested JSON document (dataclasses become objects
+tagged with their class name, tuples become arrays) serialized with sorted
+keys and hashed with SHA-256. Hashes are therefore stable across processes
+and Python versions for a given config — suitable for on-disk cache keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+
+def canonicalize(obj: object) -> object:
+    """Reduce ``obj`` to a JSON-serializable canonical structure.
+
+    Supports the value types that appear in config trees: frozen dataclasses,
+    tuples/lists, dicts with string-sortable keys, and JSON scalars. Anything
+    else is a hard error — silently stringifying unknown objects could make
+    two distinct configs hash equal.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: dict[str, object] = {"__class__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = canonicalize(getattr(obj, f.name))
+        return out
+    if isinstance(obj, (tuple, list)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(obj.items())}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for config hashing"
+    )
+
+
+def config_digest(config: object) -> str:
+    """Hex SHA-256 of the full canonicalized config tree."""
+    payload = json.dumps(
+        canonicalize(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def scale_token(workload_scale: float) -> str:
+    """Canonical text form of a workload scale factor (cache-key safe)."""
+    return repr(float(workload_scale))

@@ -1,0 +1,221 @@
+"""Parallel experiment runtime: sound memoization + process-pool execution.
+
+The runtime owns every simulation run the experiment layer performs. It
+layers three caches/executors, checked in order:
+
+1. an **in-process memo** (same object returned for repeated lookups, so
+   intra-process identity semantics are preserved),
+2. an optional **persistent disk cache** (:mod:`repro.runtime.cache`),
+3. actual simulation — serially for ``jobs=1``, otherwise batched across a
+   ``ProcessPoolExecutor``.
+
+Keys are ``(workload, scale, config-digest)`` where the digest covers the
+*entire* config tree (:mod:`repro.runtime.confighash`); no hand-maintained
+field list exists to drift out of sync with :class:`~repro.config.SimConfig`.
+
+Batch submission (:meth:`ExperimentRuntime.run_many`) is what the sweep
+experiments use: they assemble their full (workload, config) job list up
+front, the runtime dedupes it, resolves memo/disk hits, executes only the
+misses — in parallel — and returns results in submission order. Results
+are therefore deterministic and bit-identical regardless of ``jobs``:
+the engine itself is deterministic, and parallelism only changes *where*
+a run executes, never its inputs.
+
+The process-wide default runtime is configured from ``REPRO_JOBS`` /
+``REPRO_CACHE_DIR`` or via :func:`configure_runtime` (the
+``python -m repro.experiments --jobs/--cache-dir`` flags).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..config import SimConfig
+from ..core.results import SimulationResult
+from ..core.simulator import Simulator
+from ..workloads.workload import load_workload
+from .cache import ResultCache
+from .confighash import config_digest, scale_token
+
+#: Keys are (workload name, scale token, config digest).
+RunKey = tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation to perform: a workload name, config and scale."""
+
+    workload: str
+    config: SimConfig
+    workload_scale: float = 1.0
+
+    @property
+    def key(self) -> RunKey:
+        return (
+            self.workload,
+            scale_token(self.workload_scale),
+            config_digest(self.config),
+        )
+
+
+def execute_job(job: SimJob) -> SimulationResult:
+    """Run one job in the current process (also the pool worker entry)."""
+    workload = load_workload(job.workload, scale=job.workload_scale)
+    return Simulator(workload, job.config).run()
+
+
+class ExperimentRuntime:
+    """Executes and caches simulation jobs; see module docstring."""
+
+    def __init__(self, jobs: int = 1, cache_dir: str | os.PathLike | None = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.disk: ResultCache | None = (
+            ResultCache(cache_dir) if cache_dir else None
+        )
+        self._memo: dict[RunKey, SimulationResult] = {}
+        self.executed = 0
+
+    # ------------------------------------------------------------- lookups
+
+    def _lookup(self, key: RunKey) -> SimulationResult | None:
+        """Memo, then disk (promoting a disk hit into the memo)."""
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        if self.disk is not None:
+            stored = self.disk.get(*key)
+            if stored is not None:
+                self._memo[key] = stored
+                return stored
+        return None
+
+    def _store(self, key: RunKey, result: SimulationResult) -> None:
+        self._memo[key] = result
+        if self.disk is not None:
+            self.disk.put(*key, result)
+
+    # ----------------------------------------------------------- execution
+
+    def run_one(
+        self,
+        workload: str,
+        config: SimConfig,
+        workload_scale: float = 1.0,
+    ) -> SimulationResult:
+        """Run (or fetch) a single simulation, always in-process."""
+        job = SimJob(workload, config, workload_scale)
+        key = job.key
+        hit = self._lookup(key)
+        if hit is not None:
+            return hit
+        result = execute_job(job)
+        self.executed += 1
+        self._store(key, result)
+        return result
+
+    def run_many(self, jobs: list[SimJob] | tuple[SimJob, ...]) -> list[SimulationResult]:
+        """Run a batch of jobs; results align with ``jobs`` order.
+
+        Duplicate jobs are deduplicated, cached jobs are resolved without
+        executing, and the remaining misses run on a process pool when
+        ``self.jobs > 1`` (serial otherwise, or if pools are unavailable).
+        """
+        keys = [job.key for job in jobs]
+        pending: list[tuple[RunKey, SimJob]] = []
+        seen: set[RunKey] = set()
+        for key, job in zip(keys, jobs):
+            if key in seen or self._lookup(key) is not None:
+                continue
+            seen.add(key)
+            pending.append((key, job))
+        if pending:
+            for (key, job), result in zip(pending, self._execute_batch(pending)):
+                self.executed += 1
+                self._store(key, result)
+        return [self._memo[key] for key in keys]
+
+    def _execute_batch(
+        self, pending: list[tuple[RunKey, SimJob]]
+    ) -> list[SimulationResult]:
+        jobs = [job for _, job in pending]
+        if self.jobs > 1 and len(jobs) > 1:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:
+                ctx = multiprocessing.get_context()  # spawn-only platform
+            if ctx.get_start_method() == "fork":
+                # Build each distinct workload once in this process first:
+                # forked children then inherit the built CFG/trace for free
+                # instead of regenerating it per worker. (Pointless under
+                # spawn, where workers start from a fresh interpreter.)
+                for wl, scale in {(j.workload, j.workload_scale) for j in jobs}:
+                    load_workload(wl, scale=scale)
+            workers = min(self.jobs, len(jobs))
+            try:
+                with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+                    return list(pool.map(execute_job, jobs))
+            except OSError:
+                pass  # no pool support (restricted sandbox) — run serially
+        return [execute_job(job) for job in jobs]
+
+    # ------------------------------------------------------------- control
+
+    def clear_memo(self) -> None:
+        """Drop the in-process memo (the disk cache is left intact)."""
+        self._memo.clear()
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default runtime
+# ---------------------------------------------------------------------------
+
+_RUNTIME: ExperimentRuntime | None = None
+
+
+def _from_env() -> ExperimentRuntime:
+    raw = os.environ.get("REPRO_JOBS", "1") or "1"
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_JOBS must be an integer >= 1, got {raw!r}") from None
+    if jobs < 1:
+        raise ValueError(f"REPRO_JOBS must be an integer >= 1, got {raw!r}")
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    return ExperimentRuntime(jobs=jobs, cache_dir=cache_dir)
+
+
+def get_runtime() -> ExperimentRuntime:
+    """The process-wide runtime (created from env vars on first use)."""
+    global _RUNTIME
+    if _RUNTIME is None:
+        _RUNTIME = _from_env()
+    return _RUNTIME
+
+
+def configure_runtime(
+    jobs: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> ExperimentRuntime:
+    """Replace the process-wide runtime; unset options fall back to env.
+
+    The previous runtime's in-process memo is carried over (its entries
+    stay valid — keys are content-addressed), so reconfiguring mid-process
+    never discards work.
+    """
+    global _RUNTIME
+    runtime = _from_env()
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        runtime.jobs = jobs
+    if cache_dir is not None:
+        runtime.disk = ResultCache(cache_dir)
+    if _RUNTIME is not None:
+        runtime._memo.update(_RUNTIME._memo)
+    _RUNTIME = runtime
+    return runtime

@@ -37,6 +37,7 @@ class TestSubpackageImports:
             "repro.core",
             "repro.analysis",
             "repro.experiments",
+            "repro.runtime",
         ],
     )
     def test_imports_cleanly(self, module):
@@ -45,7 +46,7 @@ class TestSubpackageImports:
     @pytest.mark.parametrize(
         "module",
         ["repro.workloads", "repro.memory", "repro.branch", "repro.prefetch",
-         "repro.core", "repro.analysis"],
+         "repro.core", "repro.analysis", "repro.runtime"],
     )
     def test_all_names_resolve(self, module):
         mod = importlib.import_module(module)

@@ -1,0 +1,167 @@
+"""Tests for the experiment runtime: hashing, disk cache, parallel runner."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import CacheParams, SimConfig
+from repro.core.engine import FrontEndEngine
+from repro.core.mechanisms import make_config
+from repro.experiments.common import run_cached
+from repro.runtime import (
+    SCHEMA_TAG,
+    ExperimentRuntime,
+    ResultCache,
+    SimJob,
+    canonicalize,
+    config_digest,
+    scale_token,
+)
+
+#: Tiny but real workload for runtime tests.
+WL = "streaming"
+SCALE = 0.05
+
+
+def _jobs(*configs, workload=WL, scale=SCALE):
+    return [SimJob(workload, cfg, scale) for cfg in configs]
+
+
+class TestConfigDigest:
+    def test_equal_configs_equal_digest(self):
+        assert config_digest(make_config("boomerang")) == config_digest(
+            make_config("boomerang")
+        )
+
+    def test_every_layer_contributes(self):
+        """Fields the old hand-picked key ignored must change the digest."""
+        base = SimConfig()
+        variants = [
+            replace(base, core=replace(base.core, fetch_width=4)),
+            replace(base, core=replace(base.core, resolve_latency=10)),
+            replace(base, core=replace(base.core, data_stall_bb_frac=0.5)),
+            replace(base, core=replace(base.core, data_stall_cycles=5)),
+            replace(
+                base,
+                memory=replace(base.memory, l1i=CacheParams(64 * 1024, 2)),
+            ),
+            replace(
+                base,
+                predictor=replace(base.predictor, tage_table_entries=2048),
+            ),
+            replace(base, mechanism="fdip"),
+        ]
+        digests = {config_digest(c) for c in variants}
+        digests.add(config_digest(base))
+        assert len(digests) == len(variants) + 1
+
+    def test_canonicalize_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+    def test_scale_token_canonical(self):
+        assert scale_token(0.25) == scale_token(0.250) == "0.25"
+
+
+class TestRunCachedSoundness:
+    def test_unlisted_field_no_longer_collides(self):
+        """Regression: the old key ignored core.data_stall_cycles, so these
+        two configs returned each other's cached results."""
+        cfg_a = make_config("none")
+        cfg_b = replace(cfg_a, core=replace(cfg_a.core, data_stall_cycles=1))
+        a = run_cached(WL, cfg_a, workload_scale=SCALE)
+        b = run_cached(WL, cfg_b, workload_scale=SCALE)
+        assert a is not b
+        assert a.raw["cycles"] != b.raw["cycles"]
+
+    def test_memo_hit_is_identical_object(self):
+        cfg = make_config("none")
+        rt = ExperimentRuntime()
+        assert rt.run_one(WL, cfg, SCALE) is rt.run_one(WL, cfg, SCALE)
+
+
+class TestParallelEquivalence:
+    def test_jobs2_bit_identical_to_serial(self):
+        configs = [
+            make_config("none"),
+            make_config("next_line"),
+            make_config("boomerang"),
+            make_config("fdip"),
+        ]
+        serial = ExperimentRuntime(jobs=1).run_many(_jobs(*configs))
+        parallel = ExperimentRuntime(jobs=2).run_many(_jobs(*configs))
+        assert len(serial) == len(parallel) == len(configs)
+        for s, p in zip(serial, parallel):
+            assert s.workload == p.workload
+            assert s.mechanism == p.mechanism
+            assert s.raw == p.raw
+
+    def test_run_many_dedupes_and_preserves_order(self):
+        cfg = make_config("none")
+        rt = ExperimentRuntime()
+        out = rt.run_many(_jobs(cfg, cfg, cfg))
+        assert rt.executed == 1
+        assert out[0] is out[1] is out[2]
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path):
+        cfg = make_config("boomerang")
+        cold = ExperimentRuntime(cache_dir=tmp_path)
+        cold_result = cold.run_one(WL, cfg, SCALE)
+        stored = list((tmp_path / SCHEMA_TAG).rglob("*.json"))
+        assert len(stored) == 1
+
+        warm = ExperimentRuntime(cache_dir=tmp_path)
+        warm_result = warm.run_one(WL, cfg, SCALE)
+        assert warm.executed == 0 and warm.disk.hits == 1
+        assert warm_result.raw == cold_result.raw
+        assert warm_result.mechanism == cold_result.mechanism
+
+    def test_warm_run_never_builds_an_engine(self, tmp_path, monkeypatch):
+        cfg = make_config("none")
+        ExperimentRuntime(cache_dir=tmp_path).run_one(WL, cfg, SCALE)
+
+        def _boom(self, *a, **k):
+            raise AssertionError("warm run must not simulate")
+
+        monkeypatch.setattr(FrontEndEngine, "run", _boom)
+        warm = ExperimentRuntime(cache_dir=tmp_path)
+        result = warm.run_one(WL, cfg, SCALE)
+        assert result.raw["retired_instrs"] > 0
+
+    def test_schema_or_digest_mismatch_is_a_miss(self, tmp_path):
+        cfg = make_config("none")
+        rt = ExperimentRuntime(cache_dir=tmp_path)
+        rt.run_one(WL, cfg, SCALE)
+        path = next((tmp_path / SCHEMA_TAG).rglob("*.json"))
+        path.write_text(path.read_text().replace(SCHEMA_TAG, "engine-v0"))
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(WL, scale_token(SCALE), config_digest(cfg)) is None
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        cfg = make_config("none")
+        rt = ExperimentRuntime(cache_dir=tmp_path)
+        rt.run_one(WL, cfg, SCALE)
+        path = next((tmp_path / SCHEMA_TAG).rglob("*.json"))
+        path.write_text("{ truncated")
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(WL, scale_token(SCALE), config_digest(cfg)) is None
+
+    def test_parallel_batch_populates_disk(self, tmp_path):
+        configs = [make_config("none"), make_config("next_line")]
+        rt = ExperimentRuntime(jobs=2, cache_dir=tmp_path)
+        rt.run_many(_jobs(*configs))
+        assert len(list((tmp_path / SCHEMA_TAG).rglob("*.json"))) == 2
+
+
+class TestEngineCounters:
+    def test_ftq_flushes_surfaced(self):
+        """Squash accounting is externally observable via ftq_flushes."""
+        res = run_cached(WL, make_config("none"), workload_scale=SCALE)
+        squashes = (
+            res.raw["squash_btb"] + res.raw["squash_cond"] + res.raw["squash_target"]
+        )
+        assert res.raw["ftq_flushes"] == squashes > 0
