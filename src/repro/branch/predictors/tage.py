@@ -14,7 +14,12 @@ from .base import DirectionPredictor
 
 
 def _fold(history: int, bits: int) -> int:
-    """XOR-fold an arbitrary-width history integer into ``bits`` bits."""
+    """XOR-fold an arbitrary-width history integer into ``bits`` bits.
+
+    Reference formulation; the tagged tables maintain the same folds
+    incrementally (circular shift registers), one O(1) step per history
+    bit, instead of re-walking the whole history every lookup.
+    """
     mask = (1 << bits) - 1
     acc = 0
     while history:
@@ -23,11 +28,39 @@ def _fold(history: int, bits: int) -> int:
     return acc
 
 
+class _FoldedRegister:
+    """Circular shift register holding ``_fold(history & mask, bits)``.
+
+    Folding is GF(2)-linear per bit position: history bit ``p`` contributes
+    at folded position ``p % bits``. Shifting a new bit into the history
+    therefore rotates the folded value left by one, XORs the new bit in at
+    position 0, and XORs the outgoing bit (the one leaving the table's
+    history window) out at position ``history_length % bits``.
+    """
+
+    __slots__ = ("value", "_bits", "_mask", "_out_pos")
+
+    def __init__(self, history_length: int, bits: int):
+        self.value = 0
+        self._bits = bits
+        self._mask = (1 << bits) - 1
+        self._out_pos = history_length % bits
+
+    def shift(self, new_bit: int, out_bit: int) -> None:
+        v = self.value
+        v = ((v << 1) | (v >> (self._bits - 1))) & self._mask  # rotate left
+        self.value = v ^ new_bit ^ (out_bit << self._out_pos)
+
+    def reset(self) -> None:
+        self.value = 0
+
+
 class _TaggedTable:
     """One tagged TAGE component."""
 
     __slots__ = ("history_length", "index_bits", "tag_bits", "ctr", "tag", "useful",
-                 "_index_mask", "_tag_mask", "_hist_mask")
+                 "_index_mask", "_tag_mask", "_hist_mask",
+                 "_f_index", "_f_tag0", "_f_tag1")
 
     def __init__(self, entries: int, tag_bits: int, history_length: int):
         self.history_length = history_length
@@ -39,16 +72,30 @@ class _TaggedTable:
         self._index_mask = entries - 1
         self._tag_mask = (1 << tag_bits) - 1
         self._hist_mask = (1 << history_length) - 1
+        self._f_index = _FoldedRegister(history_length, self.index_bits)
+        self._f_tag0 = _FoldedRegister(history_length, tag_bits)
+        self._f_tag1 = _FoldedRegister(history_length, tag_bits - 1)
 
-    def index_of(self, pc: int, history: int) -> int:
-        h = history & self._hist_mask
-        folded = _fold(h, self.index_bits)
-        return ((pc >> 2) ^ (pc >> (2 + self.index_bits)) ^ folded) & self._index_mask
+    def shift_history(self, new_bit: int, history_before: int) -> None:
+        """Advance the folded registers for one global-history shift."""
+        out_bit = (history_before >> (self.history_length - 1)) & 1
+        self._f_index.shift(new_bit, out_bit)
+        self._f_tag0.shift(new_bit, out_bit)
+        self._f_tag1.shift(new_bit, out_bit)
 
-    def tag_of(self, pc: int, history: int) -> int:
-        h = history & self._hist_mask
+    def reset_history(self) -> None:
+        self._f_index.reset()
+        self._f_tag0.reset()
+        self._f_tag1.reset()
+
+    def index_of(self, pc: int) -> int:
         return (
-            (pc >> 2) ^ _fold(h, self.tag_bits) ^ (_fold(h, self.tag_bits - 1) << 1)
+            (pc >> 2) ^ (pc >> (2 + self.index_bits)) ^ self._f_index.value
+        ) & self._index_mask
+
+    def tag_of(self, pc: int) -> int:
+        return (
+            (pc >> 2) ^ self._f_tag0.value ^ (self._f_tag1.value << 1)
         ) & self._tag_mask
 
 
@@ -96,8 +143,8 @@ class TagePredictor(DirectionPredictor):
         provider = -1
         alt = -1
         for t, table in enumerate(self.tables):
-            idx = table.index_of(pc, self.history)
-            tag = table.tag_of(pc, self.history)
+            idx = table.index_of(pc)
+            tag = table.tag_of(pc)
             indices.append(idx)
             tags.append(tag)
             if table.tag[idx] == tag:
@@ -178,7 +225,11 @@ class TagePredictor(DirectionPredictor):
             for table in self.tables:
                 table.useful = [0] * len(table.useful)
 
-        self.history = ((self.history << 1) | (1 if taken else 0)) & self._max_hist_mask
+        bit = 1 if taken else 0
+        history_before = self.history
+        for table in self.tables:
+            table.shift_history(bit, history_before)
+        self.history = ((history_before << 1) | bit) & self._max_hist_mask
 
     def _allocate(self, indices, tags, provider: int, taken: bool) -> None:
         start = provider + 1
@@ -222,6 +273,7 @@ class TagePredictor(DirectionPredictor):
             table.ctr = [3] * n
             table.tag = [0] * n
             table.useful = [0] * n
+            table.reset_history()
         self.history = 0
         self._updates = 0
         self._cached_pc = None

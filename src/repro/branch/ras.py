@@ -7,15 +7,22 @@ engine does by snapshotting at divergence and restoring at the squash.
 
 from __future__ import annotations
 
+from collections import deque
+
 
 class ReturnAddressStack:
-    """Fixed-capacity circular return-address stack."""
+    """Fixed-capacity circular return-address stack.
+
+    Backed by a ``deque(maxlen=capacity)`` so the overflow path (drop the
+    oldest entry) is O(1) instead of an O(n) list shift — deep call chains
+    overflow the RAS on every push.
+    """
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError("RAS capacity must be >= 1")
         self.capacity = capacity
-        self._stack: list[int] = []
+        self._stack: deque[int] = deque(maxlen=capacity)
         self.pushes = 0
         self.pops = 0
         self.overflows = 0
@@ -28,8 +35,7 @@ class ReturnAddressStack:
         """Push a return address; overflow drops the oldest entry."""
         self.pushes += 1
         if len(self._stack) >= self.capacity:
-            self._stack.pop(0)
-            self.overflows += 1
+            self.overflows += 1  # the bounded deque evicts the oldest
         self._stack.append(return_pc)
 
     def pop(self) -> int | None:
@@ -48,7 +54,7 @@ class ReturnAddressStack:
         return tuple(self._stack)
 
     def restore(self, snap: tuple[int, ...]) -> None:
-        self._stack = list(snap)
+        self._stack = deque(snap, maxlen=self.capacity)
 
     def reset(self) -> None:
         self._stack.clear()

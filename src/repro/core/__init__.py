@@ -1,4 +1,4 @@
-"""Core simulation: the cycle-level engine, mechanism registry and API."""
+"""Core simulation: the cycle-level engine, stage composer and API."""
 
 from .engine import (
     CAUSE_BTB,
@@ -10,13 +10,16 @@ from .engine import (
 from .mechanisms import (
     FIGURE_MECHANISMS,
     MECHANISMS,
+    STAGE_COMPOSERS,
     MechanismTraits,
     build_prefetcher,
+    compose_stages,
     make_config,
     traits_for,
 )
-from .results import SimulationResult
+from .results import SimulationResult, aggregate_stage_counters
 from .simulator import Simulator, run_mechanism
+from .stages import PipelineState, StageContext
 
 __all__ = [
     "CAUSE_BTB",
@@ -27,9 +30,14 @@ __all__ = [
     "FrontEndEngine",
     "MECHANISMS",
     "MechanismTraits",
+    "PipelineState",
+    "STAGE_COMPOSERS",
     "SimulationResult",
     "Simulator",
+    "StageContext",
+    "aggregate_stage_counters",
     "build_prefetcher",
+    "compose_stages",
     "make_config",
     "run_mechanism",
     "traits_for",

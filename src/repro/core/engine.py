@@ -1,11 +1,14 @@
 """Cycle-level decoupled front-end engine.
 
 This is the simulator behind every experiment: a trace-driven, cycle-by-
-cycle model of the paper's core (Table I) specialized per mechanism by
-:mod:`repro.core.mechanisms`. One cycle executes, in order:
+cycle model of the paper's core (Table I). The engine itself is thin —
+it builds the hardware blocks, asks :mod:`repro.core.mechanisms` to
+compose the mechanism's pipeline-stage list (:mod:`repro.core.stages`),
+then ticks that list over a shared :class:`~repro.core.stages.PipelineState`
+once per cycle:
 
 1. **fill arrivals** — completed L1-I fills install (prefetch buffer or
-   L1-I); Confluence predecodes arriving blocks into its BTB;
+   L1-I); Confluence's variant predecodes arriving blocks into its BTB;
 2. **squash** — a resolved mispredicted/missed branch flushes the FTQ,
    decode pipe and wrong-path ROB tail, restores the RAS and redirects the
    BPU (cause recorded: BTB miss vs. direction vs. target — Figure 7);
@@ -17,53 +20,47 @@ cycle model of the paper's core (Table I) specialized per mechanism by
 5. **fetch** — up to fetch-width instructions drain from the FTQ head; a
    demand L1-I miss stalls fetch and is charged to the sequential /
    conditional / unconditional class of the block's entry edge (Figure 3);
-6. **BPU** — one basic-block prediction per cycle: BTB (+ Boomerang's BTB
-   prefetch buffer) lookup, direction prediction, RAS push/pop; a detected
-   BTB miss either stalls for Boomerang's predecode fill or degrades into
-   a sequential run; wrong paths are really walked over the static CFG so
-   wrong-path prefetches genuinely fill (or pollute) the prefetch buffer;
+6. **BPU** — one basic-block prediction per cycle; Boomerang's variant
+   resolves detected BTB misses by stalling for a predecode fill, others
+   degrade into a sequential run; wrong paths are really walked over the
+   static CFG so wrong-path prefetches genuinely fill (or pollute) the
+   prefetch buffer;
 7. **prefetch issue** — one L1-I probe per cycle, honouring the priority
    mux: demand fetch > BTB miss probe > prefetch probe (paper Fig. 6).
+
+All bookkeeping that remains here is run-scoped: the warmup/measured-region
+split and the end-of-trace drain. Per-stage counters flatten into the
+flat stats dict via :func:`repro.core.results.aggregate_stage_counters`.
 """
 
 from __future__ import annotations
 
-import bisect
-from collections import deque
-
-from ..branch.btb import BasicBlockBTB, BTBEntry, BTBPrefetchBuffer
+from ..branch.btb import BasicBlockBTB, BTBPrefetchBuffer
 from ..branch.predictors import make_predictor
-from ..branch.predictors.base import OraclePredictor
 from ..branch.ras import ReturnAddressStack
 from ..config import SimConfig
 from ..errors import SimulationError
 from ..frontend.ftq import FetchTargetQueue
-from ..frontend.predecode import boomerang_fill, predecode_block
 from ..memory.hierarchy import InstructionMemory
-from ..workloads.isa import BranchKind, EntryKind
 from ..workloads.workload import Workload
-from .mechanisms import build_prefetcher, traits_for
+from .mechanisms import build_prefetcher, compose_stages, traits_for
+from .results import aggregate_stage_counters
+from .stages import (
+    CAUSE_BTB,
+    CAUSE_COND,
+    CAUSE_NONE,
+    CAUSE_TARGET,
+    PipelineState,
+    StageContext,
+)
 
-# Squash causes.
-CAUSE_NONE = 0
-CAUSE_BTB = 1       #: BTB miss for an eventually-taken branch
-CAUSE_COND = 2      #: conditional direction mispredict
-CAUSE_TARGET = 3    #: indirect/return target mispredict
-
-# BranchKind locals (hot-loop comparisons on ints).
-_COND = int(BranchKind.COND)
-_JUMP = int(BranchKind.JUMP)
-_CALL = int(BranchKind.CALL)
-_RET = int(BranchKind.RET)
-_IND_JUMP = int(BranchKind.IND_JUMP)
-_IND_CALL = int(BranchKind.IND_CALL)
-
-_SEQ = int(EntryKind.SEQUENTIAL)
-_CONDK = int(EntryKind.CONDITIONAL)
-_UNCONDK = int(EntryKind.UNCONDITIONAL)
-
-#: Sequential blocks the predecode walk may visit before declaring a bug.
-_PREDECODE_WALK_CAP = 16
+__all__ = [
+    "CAUSE_BTB",
+    "CAUSE_COND",
+    "CAUSE_NONE",
+    "CAUSE_TARGET",
+    "FrontEndEngine",
+]
 
 #: Hard per-run cycle budget (multiples of trace instructions).
 _CYCLE_CAP_FACTOR = 400
@@ -87,544 +84,72 @@ class FrontEndEngine:
         self.ftq = FetchTargetQueue(config.core.ftq_depth)
         self.prefetcher = build_prefetcher(config, self.mem.llc_round_trip)
 
-        cfg = workload.cfg
-        self._starts_sorted = sorted(cfg.blocks)
-        self._is_boomerang = self.traits.btb_prefill == "boomerang"
-        self._is_confluence = self.traits.btb_prefill == "confluence"
-        self._oracle = isinstance(self.predictor, OraclePredictor)
-
-    # -------------------------------------------------------------- helpers
-
-    def _next_block_start(self, pc: int) -> int | None:
-        """Smallest basic-block start strictly greater than ``pc``."""
-        idx = bisect.bisect_right(self._starts_sorted, pc)
-        if idx < len(self._starts_sorted):
-            return self._starts_sorted[idx]
-        return None
-
-    @staticmethod
-    def _static_entry(blk) -> BTBEntry:
-        target = 0 if blk.kind == BranchKind.RET else blk.target
-        return BTBEntry(blk.n_instrs, int(blk.kind), target)
+        self.stages = compose_stages(
+            StageContext(
+                workload=workload,
+                config=config,
+                mem=self.mem,
+                btb=self.btb,
+                btb_buf=self.btb_pf_buffer,
+                predictor=self.predictor,
+                ras=self.ras,
+                ftq=self.ftq,
+                prefetcher=self.prefetcher,
+            )
+        )
 
     # ------------------------------------------------------------------ run
 
     def run(self, max_instructions: int | None = None) -> dict[str, float]:
         """Simulate the workload's trace; returns the measured-region stats."""
         wl = self.workload
-        cfg_blocks = wl.cfg.blocks
-        records = wl.trace.records
-        n_records = len(records)
+        n_records = len(wl.trace.records)
         total_instrs = wl.trace.n_instrs
         if max_instructions is not None:
             total_instrs = min(total_instrs, max_instructions)
         warmup_instrs = min(wl.warmup_instrs, total_instrs // 2)
 
-        core = self.config.core
-        fetch_width = core.fetch_width
-        commit_width = core.commit_width
-        rob_size = core.rob_size
-        decode_latency = core.decode_latency
-        resolve_latency = core.resolve_latency
-        redirect_bubble = core.redirect_bubble
-        throttle_blocks = (
-            self.config.prefetch.throttle_blocks if self._is_boomerang else 0
-        )
-        perfect_btb = self.config.perfect_btb
-        decoupled = self.traits.decoupled
-        # Data-side model: blocks whose hash falls under the threshold stall
-        # dispatch (deterministic per block start address).
-        data_stall_threshold = int(core.data_stall_bb_frac * 4096)
-        data_stall_cycles = core.data_stall_cycles
-        predecode_latency = core.predecode_latency
-
+        stages = self.stages
         mem = self.mem
-        btb = self.btb
-        btb_buf = self.btb_pf_buffer
-        predictor = self.predictor
-        ras = self.ras
         ftq = self.ftq
-        prefetcher = self.prefetcher
-        oracle = self._oracle
-        boomerang = self._is_boomerang
-        confluence = self._is_confluence
-        branches_in_block = wl.cfg.branches_in_cache_block
 
-        # --- BPU state
-        bpu_idx = 0                   # next trace record (correct path)
-        wrong_path = False
-        wp_pc = 0
-        div_resume_idx = -1
-        div_cause = CAUSE_NONE
-        ras_snapshot: tuple[int, ...] | None = None
-        bpu_stall_until = 0
-        # Boomerang BTB-miss resolution state: (miss_pc, block, ready, steps)
-        bmiss: list[int] | None = None
+        def collect(cycle: int) -> dict[str, float]:
+            return aggregate_stage_counters(
+                cycle, state.retired, stages, self.btb, self.btb_pf_buffer, ftq, mem
+            )
 
-        # --- fetch state
-        cur_entry = None              # (start, n, tidx, wp, cause, learn)
-        cur_off = 0
-        fetch_ready = 0
-        stall_cls = -1                # classification while stalled (or -1)
-        last_block = -1               # last L1-I block demanded
+        state = PipelineState(warmup_instrs=warmup_instrs, collect_counters=collect)
 
-        # --- back end
-        decode_q: deque = deque()     # (ready, n, start, wp, cause)
-        decode_instrs = 0
-        rob: deque = deque()          # [n_left, wp, start, n_instrs]
-        rob_instrs = 0
-        squash_at = -1                # scheduled squash cycle (-1 = none)
-        dispatch_stall_until = 0      # data-side LSQ backpressure model
-
-        # --- prefetch engine (decoupled)
-        probe_q: list[int] = []       # FIFO of blocks to probe
-        probe_pos = 0
-        throttle_q: deque[int] = deque()
-        recent_probe: dict[int, None] = {}
-
-        # --- stats
         cycle = 0
-        retired = 0
-        squash_btb = squash_cond = squash_target = 0
-        stall_seq = stall_cond = stall_uncond = 0
-        btb_miss_lookups = 0
-        btb_miss_stall_cycles = 0
-        wp_cycles = 0
-        warmup_snapshot: dict[str, float] | None = None
         cycle_cap = _CYCLE_CAP_FACTOR * max(total_instrs, 1)
+        ticks = tuple(stage.tick for stage in stages)  # prebound hot loop
 
-        def local_counters() -> dict[str, float]:
-            counters: dict[str, float] = {
-                "cycles": cycle,
-                "retired_instrs": retired,
-                "squash_btb": squash_btb,
-                "squash_cond": squash_cond,
-                "squash_target": squash_target,
-                "stall_seq": stall_seq,
-                "stall_cond": stall_cond,
-                "stall_uncond": stall_uncond,
-                "btb_miss_lookups": btb_miss_lookups,
-                "btb_miss_stall_cycles": btb_miss_stall_cycles,
-                "wp_cycles": wp_cycles,
-                "btb_lookups": btb.lookups,
-                "btb_hits": btb.hits,
-                "btb_inserts": btb.inserts,
-                "btb_pfb_hits": btb_buf.hits,
-                "btb_pfb_inserts": btb_buf.inserts,
-                "ftq_pushes": ftq.pushed,
-                "ftq_flushes": ftq.flushes,
-            }
-            counters.update(mem.counters())
-            return counters
-
-        while retired < total_instrs:
+        while state.retired < total_instrs:
             cycle += 1
             if cycle > cycle_cap:
                 raise SimulationError(
-                    f"cycle cap exceeded ({cycle} cycles, {retired}/{total_instrs} "
-                    f"instructions) — engine livelock for {self.config.mechanism}"
+                    f"cycle cap exceeded ({cycle} cycles, {state.retired}/"
+                    f"{total_instrs} instructions) — engine livelock for "
+                    f"{self.config.mechanism}"
                 )
 
-            # ---- 1. fill arrivals -------------------------------------------
-            arrived = mem.drain_arrivals(cycle)
-            if confluence and arrived and not perfect_btb:
-                for block in arrived:
-                    for pc, entry in predecode_block(wl.cfg, block):
-                        btb.insert(pc, entry)
-
-            # ---- 2. squash ---------------------------------------------------
-            if squash_at >= 0 and cycle >= squash_at:
-                if div_cause == CAUSE_BTB:
-                    squash_btb += 1
-                elif div_cause == CAUSE_COND:
-                    squash_cond += 1
-                else:
-                    squash_target += 1
-                # Flush younger (wrong-path) work everywhere.
-                ftq.flush()
-                cur_entry = None
-                cur_off = 0
-                fetch_ready = 0
-                stall_cls = -1
-                last_block = -1
-                if decode_q:
-                    kept = deque(g for g in decode_q if not g[3])
-                    decode_instrs -= sum(g[1] for g in decode_q) - sum(
-                        g[1] for g in kept
-                    )
-                    decode_q = kept
-                # Wrong-path tail flush: pop younger entries off the right.
-                while rob and rob[-1][1]:
-                    rob_instrs -= rob.pop()[0]
-                if ras_snapshot is not None:
-                    ras.restore(ras_snapshot)
-                    ras_snapshot = None
-                wrong_path = False
-                bpu_idx = div_resume_idx
-                div_cause = CAUSE_NONE
-                squash_at = -1
-                bmiss = None
-                bpu_stall_until = cycle + redirect_bubble
-                probe_q = []
-                probe_pos = 0
-                throttle_q = deque()
-
-            # ---- 3. retire ---------------------------------------------------
-            budget = commit_width
-            while budget > 0 and rob:
-                head = rob[0]
-                if head[1]:  # wrong-path head cannot retire; wait for squash
-                    break
-                take = head[0] if head[0] <= budget else budget
-                head[0] -= take
-                rob_instrs -= take
-                retired += take
-                budget -= take
-                if head[0] == 0:
-                    rob.popleft()
-                    if prefetcher is not None:
-                        start = head[2]
-                        first = start >> 6
-                        last = (start + (head[3] - 1) * 4) >> 6
-                        for b in range(first, last + 1):
-                            prefetcher.on_retired_block(b, cycle)
-            if warmup_snapshot is None and retired >= warmup_instrs:
-                warmup_snapshot = local_counters()
-
-            # ---- 4. decode -> ROB (dispatch) ----------------------------------
-            # Dispatch stalls on "data-heavy" blocks model LSQ backpressure:
-            # the window behind a missing load fills and dispatch halts. This
-            # is what keeps the ROB shallow on server workloads, so front-end
-            # bubbles and squash refills expose their full latency.
-            while dispatch_stall_until <= cycle and decode_q and decode_q[0][0] <= cycle:
-                group = decode_q[0]
-                if rob_instrs + group[1] > rob_size:
-                    break
-                decode_q.popleft()
-                decode_instrs -= group[1]
-                start = group[2]
-                rob.append([group[1], group[3], start, group[1]])
-                rob_instrs += group[1]
-                if ((start >> 2) * 2654435761 & 0xFFF) < data_stall_threshold:
-                    dispatch_stall_until = cycle + data_stall_cycles
-                    break
-
-            # ---- 5. fetch ----------------------------------------------------
-            # While dispatch is data-stalled the fetch buffer is full and
-            # delivery pauses; the BPU/prefetch engine keeps running ahead
-            # (that overlap is exactly what decoupled prefetching exploits).
-            # Cycles where fetch is not the bottleneck are not charged as
-            # front-end stall cycles.
-            if dispatch_stall_until > cycle:
-                pass
-            elif fetch_ready > cycle:
-                if stall_cls == _SEQ:
-                    stall_seq += 1
-                elif stall_cls == _CONDK:
-                    stall_cond += 1
-                elif stall_cls == _UNCONDK:
-                    stall_uncond += 1
-            else:
-                stall_cls = -1
-                budget = fetch_width
-                while budget > 0 and rob_instrs + decode_instrs < rob_size:
-                    if cur_entry is None:
-                        if ftq.empty:
-                            break
-                        cur_entry = ftq.pop()
-                        cur_off = 0
-                    start, n_instrs, tidx, wp, cause, learn = cur_entry
-                    pc = start + cur_off * 4
-                    block = pc >> 6
-                    if block != last_block:
-                        discontinuity = block != last_block + 1
-                        ready = mem.demand_access(block, cycle)
-                        if prefetcher is not None:
-                            prefetcher.on_fetch_block(
-                                block, cycle, last_block, discontinuity
-                            )
-                            if ready > cycle:
-                                prefetcher.on_demand_miss(
-                                    block, cycle, last_block, discontinuity
-                                )
-                        last_block = block
-                        if ready > cycle:
-                            fetch_ready = ready
-                            if not wp:
-                                if cur_off == 0:
-                                    ek = records[tidx][5] if tidx >= 0 else _SEQ
-                                else:
-                                    ek = _SEQ
-                                stall_cls = ek
-                                if ek == _SEQ:
-                                    stall_seq += 1
-                                elif ek == _CONDK:
-                                    stall_cond += 1
-                                else:
-                                    stall_uncond += 1
-                            else:
-                                stall_cls = -1
-                            break
-                    to_boundary = 16 - ((pc >> 2) & 15)
-                    take = n_instrs - cur_off
-                    if take > budget:
-                        take = budget
-                    if take > to_boundary:
-                        take = to_boundary
-                    cur_off += take
-                    budget -= take
-                    if cur_off >= n_instrs:
-                        decode_q.append(
-                            (cycle + decode_latency, n_instrs, start, wp, cause)
-                        )
-                        decode_instrs += n_instrs
-                        if learn and not wp:
-                            rec = records[tidx]
-                            blk = cfg_blocks[start]
-                            kind = rec[2]
-                            if kind == _IND_JUMP or kind == _IND_CALL:
-                                tgt = rec[4]
-                            elif kind == _RET:
-                                tgt = 0
-                            else:
-                                tgt = blk.target
-                            btb.insert(start, BTBEntry(n_instrs, kind, tgt))
-                        if cause != CAUSE_NONE:
-                            squash_at = cycle + resolve_latency
-                        cur_entry = None
-
-            # ---- 6. BPU ------------------------------------------------------
-            if wrong_path:
-                wp_cycles += 1
-            if cycle >= bpu_stall_until:
-                if bmiss is not None:
-                    btb_miss_stall_cycles += 1
-                    if cycle >= bmiss[2]:
-                        # Predecode the fetched block; walk forward if the
-                        # block holds no branch at/after the miss address.
-                        filled, others = boomerang_fill(wl.cfg, bmiss[1], bmiss[0])
-                        for pc_o, entry_o in others:
-                            btb_buf.insert(pc_o, entry_o)
-                        if filled is not None:
-                            btb.insert(filled[0], filled[1])
-                            bmiss = None
-                        else:
-                            bmiss[3] += 1
-                            if bmiss[3] > _PREDECODE_WALK_CAP:
-                                raise SimulationError(
-                                    "predecode walk exceeded cap at "
-                                    f"{bmiss[0]:#x}"
-                                )
-                            bmiss[1] += 1
-                            bmiss[2] = mem.data_ready(bmiss[1], cycle) + predecode_latency
-                elif not ftq.full:
-                    if not wrong_path and bpu_idx < n_records:
-                        rec = records[bpu_idx]
-                        start = rec[0]
-                        n_instrs = rec[1]
-                        kind = rec[2]
-                        taken = rec[3]
-                        actual_next = rec[4]
-                        blk = cfg_blocks[start]
-                        branch_pc = start + (n_instrs - 1) * 4
-
-                        if perfect_btb:
-                            entry = True
-                        else:
-                            entry = btb.lookup(start)
-                            if entry is None and boomerang:
-                                staged = btb_buf.take(start)
-                                if staged is not None:
-                                    btb.insert(start, staged)
-                                    entry = staged
-
-                        if entry is None:
-                            btb_miss_lookups += 1
-                            if boomerang:
-                                # Stall and resolve via a BTB miss probe.
-                                block = start >> 6
-                                resident = mem.is_resident_or_inflight(block)
-                                ready = mem.data_ready(block, cycle) + predecode_latency
-                                bmiss = [start, block, ready, 0]
-                                if throttle_blocks and not resident:
-                                    for off in range(1, throttle_blocks + 1):
-                                        throttle_q.append(block + off)
-                            else:
-                                # Sequential run past the unknown branch.
-                                if taken:
-                                    cause = CAUSE_BTB
-                                    wrong_path = True
-                                    wp_pc = start + n_instrs * 4
-                                    div_resume_idx = bpu_idx + 1
-                                    div_cause = CAUSE_BTB
-                                    ras_snapshot = ras.snapshot()
-                                else:
-                                    cause = CAUSE_NONE
-                                    bpu_idx += 1
-                                ftq.push((start, n_instrs, bpu_idx - (0 if taken else 1), False, cause, True))
-                                if decoupled:
-                                    first = start >> 6
-                                    last = (start + (n_instrs - 1) * 4) >> 6
-                                    for b in range(first, last + 1):
-                                        if b not in recent_probe:
-                                            recent_probe[b] = None
-                                            if len(recent_probe) > 128:
-                                                del recent_probe[next(iter(recent_probe))]
-                                            probe_q.append(b)
-                        else:
-                            cause = CAUSE_NONE
-                            mispredicted_next = -1
-                            if kind == _COND:
-                                if oracle:
-                                    predictor.stage(bool(taken))
-                                pred = predictor.predict(branch_pc)
-                                predictor.update(branch_pc, bool(taken))
-                                if pred != bool(taken):
-                                    cause = CAUSE_COND
-                                    mispredicted_next = (
-                                        blk.target if pred else start + n_instrs * 4
-                                    )
-                            elif kind == _CALL:
-                                ras.push(start + n_instrs * 4)
-                            elif kind == _RET:
-                                pred_target = ras.pop()
-                                if pred_target != actual_next:
-                                    cause = CAUSE_TARGET
-                                    mispredicted_next = (
-                                        pred_target
-                                        if pred_target is not None
-                                        else start + n_instrs * 4
-                                    )
-                            elif kind == _IND_CALL or kind == _IND_JUMP:
-                                if perfect_btb:
-                                    pred_target = actual_next
-                                else:
-                                    pred_target = entry[2]
-                                if kind == _IND_CALL:
-                                    ras.push(start + n_instrs * 4)
-                                if pred_target != actual_next:
-                                    cause = CAUSE_TARGET
-                                    mispredicted_next = pred_target
-                                    btb.update_target(start, actual_next)
-                            # JUMP: static target, always correct.
-
-                            if cause != CAUSE_NONE:
-                                wrong_path = True
-                                wp_pc = mispredicted_next
-                                div_resume_idx = bpu_idx + 1
-                                div_cause = cause
-                                ras_snapshot = ras.snapshot()
-                            else:
-                                bpu_idx += 1
-                            ftq.push((start, n_instrs, bpu_idx - (1 if cause == CAUSE_NONE else 0), False, cause, False))
-                            if decoupled:
-                                first = start >> 6
-                                last = (start + (n_instrs - 1) * 4) >> 6
-                                for b in range(first, last + 1):
-                                    if b not in recent_probe:
-                                        recent_probe[b] = None
-                                        if len(recent_probe) > 128:
-                                            del recent_probe[next(iter(recent_probe))]
-                                        probe_q.append(b)
-                    elif wrong_path:
-                        # Speculative walk over the static CFG.
-                        blk = cfg_blocks.get(wp_pc)
-                        if blk is None:
-                            nxt = self._next_block_start(wp_pc)
-                            if nxt is None or nxt - wp_pc > 64:
-                                n_i = 4
-                            else:
-                                n_i = max(1, (nxt - wp_pc) >> 2)
-                            ftq.push((wp_pc, n_i, -1, True, CAUSE_NONE, False))
-                            seg_start = wp_pc
-                            wp_pc += n_i * 4
-                        else:
-                            start = blk.start
-                            n_i = blk.n_instrs
-                            entry = None if perfect_btb else btb.lookup(start)
-                            if perfect_btb:
-                                entry = BTBEntry(n_i, int(blk.kind), blk.target)
-                            if entry is None and boomerang:
-                                staged = btb_buf.take(start)
-                                if staged is not None:
-                                    btb.insert(start, staged)
-                                    entry = staged
-                            if entry is None:
-                                if boomerang:
-                                    block = start >> 6
-                                    resident = mem.is_resident_or_inflight(block)
-                                    ready = mem.data_ready(block, cycle) + predecode_latency
-                                    bmiss = [start, block, ready, 0]
-                                    if throttle_blocks and not resident:
-                                        for off in range(1, throttle_blocks + 1):
-                                            throttle_q.append(block + off)
-                                else:
-                                    wp_pc = start + n_i * 4  # straight line
-                            else:
-                                kind = entry[1]
-                                if kind == _COND:
-                                    pred = predictor.predict(
-                                        start + (entry[0] - 1) * 4
-                                    )
-                                    wp_pc = (
-                                        entry[2] if pred else start + entry[0] * 4
-                                    )
-                                elif kind == _CALL or kind == _IND_CALL:
-                                    ras.push(start + entry[0] * 4)
-                                    wp_pc = entry[2]
-                                elif kind == _RET:
-                                    popped = ras.pop()
-                                    wp_pc = (
-                                        popped
-                                        if popped is not None
-                                        else start + entry[0] * 4
-                                    )
-                                else:
-                                    wp_pc = entry[2]
-                            if bmiss is None:
-                                ftq.push((start, n_i, -1, True, CAUSE_NONE, False))
-                            seg_start = start
-                        if bmiss is None and decoupled:
-                            first = seg_start >> 6
-                            last = (seg_start + (n_i - 1) * 4) >> 6
-                            for b in range(first, last + 1):
-                                if b not in recent_probe:
-                                    recent_probe[b] = None
-                                    if len(recent_probe) > 128:
-                                        del recent_probe[next(iter(recent_probe))]
-                                    probe_q.append(b)
-
-            # ---- 7. prefetch issue (1 probe/cycle max) -----------------------
-            if throttle_q:
-                mem.prefetch_probe(throttle_q.popleft(), cycle)
-            elif bmiss is not None:
-                pass  # probe port carries the BTB miss probe traffic
-            elif decoupled:
-                if probe_pos < len(probe_q):
-                    mem.prefetch_probe(probe_q[probe_pos], cycle)
-                    probe_pos += 1
-                    if probe_pos > 512:
-                        probe_q = probe_q[probe_pos:]
-                        probe_pos = 0
-            elif prefetcher is not None:
-                block = prefetcher.next_prefetch(cycle)
-                if block is not None:
-                    mem.prefetch_probe(block, cycle)
+            for tick in ticks:
+                tick(state, cycle)
 
             # End-of-trace drain: if the BPU has consumed the whole trace and
             # everything younger has drained, stop (counts remaining retire).
             if (
-                bpu_idx >= n_records
-                and not wrong_path
+                state.bpu_idx >= n_records
+                and not state.wrong_path
                 and ftq.empty
-                and cur_entry is None
-                and not decode_q
-                and not rob
+                and state.cur_entry is None
+                and not state.decode_q
+                and not state.rob
             ):
                 break
 
-        final = local_counters()
-        base = warmup_snapshot or {k: 0 for k in final}
+        final = collect(cycle)
+        base = state.warmup_snapshot or {k: 0 for k in final}
         stats = {k: final[k] - base.get(k, 0) for k in final}
         stats["warmup_instrs"] = float(base.get("retired_instrs", 0))
         stats["warmup_cycles"] = float(base.get("cycles", 0))

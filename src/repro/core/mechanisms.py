@@ -1,28 +1,24 @@
-"""Registry of control-flow delivery mechanisms (paper Section V-A).
+"""Mechanism registry and stage composer (paper Section V-A).
 
-Each mechanism maps to a set of engine traits:
+A mechanism is a *composition* of pipeline stages from
+:mod:`repro.core.stages`: every mechanism shares the squash / retire /
+decode / fetch spine and differs only in its fill, BPU and prefetch-issue
+parts. :func:`compose_stages` assembles the per-cycle stage list the
+engine ticks; see ``docs/architecture.md`` for the full mechanism → stage
+composition table and the recipe for adding a new mechanism.
 
-============  =========  ==============  ============  ===========
-mechanism     decoupled  l1 prefetcher   BTB prefill   FTQ depth
-============  =========  ==============  ============  ===========
-none          no         —               —             shallow
-next_line     no         next-2-line     —             shallow
-dip           no         DIP + NL2       —             shallow
-fdip          yes        FTQ scan        —             32
-pif           no         PIF             —             shallow
-shift         no         SHIFT           —             shallow
-confluence    no         SHIFT           predecode     shallow, 16K BTB
-boomerang     yes        FTQ scan        miss-probe    32
-============  =========  ==============  ============  ===========
-
-"Decoupled" means the FDIP-style deep FTQ whose entries drive the prefetch
-engine; the shallow FTQ used otherwise models an ordinary coupled fetch
-buffer.
+Coarse per-mechanism traits (decoupled? which prefetcher model? which BTB
+prefill style?) remain queryable via :func:`traits_for`; they parameterize
+both the composition below and the per-mechanism config defaults
+(:func:`make_config` — Confluence's 16K-entry BTB upper bound, the shallow
+FTQ modelling an ordinary coupled fetch buffer for non-decoupled front
+ends).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from ..config import SimConfig
 from ..errors import UnknownMechanismError
@@ -32,6 +28,19 @@ from ..prefetch import (
     NextLinePrefetcher,
     PIFPrefetcher,
     SHIFTPrefetcher,
+)
+from .stages import (
+    BPUStage,
+    DecodeDispatch,
+    FTQScanPrefetchIssue,
+    FetchUnit,
+    FillArrival,
+    MissProbeBPU,
+    PredecodeFillArrival,
+    RetireUnit,
+    SquashUnit,
+    StageContext,
+    StreamPrefetchIssue,
 )
 
 #: Paper order for the main comparison figures (7, 8, 9).
@@ -141,3 +150,70 @@ def build_prefetcher(config: SimConfig, llc_round_trip: int) -> InstructionPrefe
             llc_round_trip=llc_round_trip,
         )
     raise UnknownMechanismError(traits.prefetcher, MECHANISMS)
+
+
+# ---------------------------------------------------------------------------
+# Stage composition
+# ---------------------------------------------------------------------------
+
+
+def _spine(ctx: StageContext) -> tuple:
+    """The squash/retire/decode/fetch core every mechanism shares."""
+    return (SquashUnit(ctx), RetireUnit(ctx), DecodeDispatch(ctx), FetchUnit(ctx))
+
+
+def _fill(ctx: StageContext) -> FillArrival:
+    """Plain fill arrivals (no BTB prefill on fill)."""
+    return FillArrival(ctx)
+
+
+def _predecode_fill(ctx: StageContext) -> FillArrival:
+    """Confluence's predecode-on-fill; plain under a perfect BTB."""
+    if ctx.config.perfect_btb:
+        return FillArrival(ctx)
+    return PredecodeFillArrival(ctx)
+
+
+def _compose_coupled(ctx: StageContext) -> tuple:
+    """Coupled front end: optional stream prefetcher, conventional BPU."""
+    stages = _fill(ctx), *_spine(ctx), BPUStage(ctx)
+    if ctx.prefetcher is not None:
+        stages += (StreamPrefetchIssue(ctx),)
+    return stages
+
+
+def _compose_fdip(ctx: StageContext) -> tuple:
+    """Decoupled front end: deep FTQ scanned by the prefetch engine."""
+    return _fill(ctx), *_spine(ctx), BPUStage(ctx), FTQScanPrefetchIssue(ctx)
+
+
+def _compose_confluence(ctx: StageContext) -> tuple:
+    """SHIFT stream prefetch + bulk BTB prefill on every fill arrival."""
+    return _predecode_fill(ctx), *_spine(ctx), BPUStage(ctx), StreamPrefetchIssue(ctx)
+
+
+def _compose_boomerang(ctx: StageContext) -> tuple:
+    """FDIP's decoupled engine + BTB-miss-probe BPU (the paper's design)."""
+    return _fill(ctx), *_spine(ctx), MissProbeBPU(ctx), FTQScanPrefetchIssue(ctx)
+
+
+#: mechanism name -> stage-list factory; the composition table in code.
+STAGE_COMPOSERS: dict[str, Callable[[StageContext], tuple]] = {
+    "none": _compose_coupled,
+    "next_line": _compose_coupled,
+    "dip": _compose_coupled,
+    "fdip": _compose_fdip,
+    "pif": _compose_coupled,
+    "shift": _compose_coupled,
+    "confluence": _compose_confluence,
+    "boomerang": _compose_boomerang,
+}
+
+
+def compose_stages(ctx: StageContext) -> tuple:
+    """Assemble the per-cycle stage list for ``ctx.config.mechanism``."""
+    try:
+        composer = STAGE_COMPOSERS[ctx.config.mechanism]
+    except KeyError:
+        raise UnknownMechanismError(ctx.config.mechanism, MECHANISMS) from None
+    return composer(ctx)

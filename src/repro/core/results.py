@@ -7,6 +7,34 @@ from dataclasses import dataclass, field
 from ..workloads.isa import EntryKind
 
 
+def aggregate_stage_counters(
+    cycle: int, retired: int, stages, btb, btb_buf, ftq, mem
+) -> dict[str, float]:
+    """Flatten per-stage counter namespaces into the engine's stats dict.
+
+    Stage counters come first (in pipeline order), then the shared
+    hardware blocks (BTB, BTB prefetch buffer, FTQ, memory hierarchy).
+    The key set matches the pre-stage monolithic engine exactly, so
+    experiments, analysis tables and the ``repro.runtime`` cache consume
+    the same flat dict they always have.
+    """
+    counters: dict[str, float] = {
+        "cycles": cycle,
+        "retired_instrs": retired,
+    }
+    for stage in stages:
+        counters.update(stage.counters())
+    counters["btb_lookups"] = btb.lookups
+    counters["btb_hits"] = btb.hits
+    counters["btb_inserts"] = btb.inserts
+    counters["btb_pfb_hits"] = btb_buf.hits
+    counters["btb_pfb_inserts"] = btb_buf.inserts
+    counters["ftq_pushes"] = ftq.pushed
+    counters["ftq_flushes"] = ftq.flushes
+    counters.update(mem.counters())
+    return counters
+
+
 @dataclass
 class SimulationResult:
     """Counters and derived metrics of one simulation run.

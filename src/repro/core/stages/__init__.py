@@ -1,0 +1,59 @@
+"""Composable pipeline stages of the cycle-level front-end engine.
+
+One simulated cycle is a fixed-order pass over a mechanism's stage list
+(paper Fig. 6, top to bottom)::
+
+    FillArrival      completed L1-I fills install (Confluence variant
+                     predecodes arriving blocks into the BTB)
+    SquashUnit       resolved mis-speculation flushes + redirects
+    RetireUnit       ROB head drains; retire stream feeds PIF/SHIFT
+    DecodeDispatch   decoded groups enter the ROB (LSQ backpressure)
+    FetchUnit        FTQ head drains through the L1-I (demand port)
+    BPUStage         one basic-block prediction (Boomerang variant
+                     resolves BTB misses via predecode miss probes)
+    *PrefetchIssue   one L1-I probe via the priority mux (FTQ-scan or
+                     event-driven stream prefetcher; absent for "none")
+
+Every stage implements ``tick(state, cycle)`` over the shared
+:class:`PipelineState` and reports its own counters through
+``counters()``; :func:`repro.core.results.aggregate_stage_counters`
+flattens them into the engine's stats dict. Mechanisms are assembled from
+these parts by :func:`repro.core.mechanisms.compose_stages` — adding a
+mechanism is a composition exercise, not engine surgery (see
+``docs/architecture.md``).
+"""
+
+from .bpu import BPUStage, MissProbeBPU
+from .decode import DecodeDispatch
+from .fetch import FetchUnit
+from .fill import FillArrival, PredecodeFillArrival
+from .prefetch_issue import FTQScanPrefetchIssue, StreamPrefetchIssue
+from .retire import RetireUnit
+from .squash import SquashUnit
+from .state import (
+    CAUSE_BTB,
+    CAUSE_COND,
+    CAUSE_NONE,
+    CAUSE_TARGET,
+    PipelineState,
+    StageContext,
+)
+
+__all__ = [
+    "BPUStage",
+    "CAUSE_BTB",
+    "CAUSE_COND",
+    "CAUSE_NONE",
+    "CAUSE_TARGET",
+    "DecodeDispatch",
+    "FTQScanPrefetchIssue",
+    "FetchUnit",
+    "FillArrival",
+    "MissProbeBPU",
+    "PipelineState",
+    "PredecodeFillArrival",
+    "RetireUnit",
+    "SquashUnit",
+    "StageContext",
+    "StreamPrefetchIssue",
+]

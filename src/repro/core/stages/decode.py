@@ -1,0 +1,46 @@
+"""Decode→ROB dispatch stage."""
+
+from __future__ import annotations
+
+
+class DecodeDispatch:
+    """Move decoded groups whose latency elapsed into the ROB.
+
+    Dispatch stalls on "data-heavy" blocks model LSQ backpressure: the
+    window behind a missing load fills and dispatch halts (deterministic
+    per block start address). This is what keeps the ROB shallow on server
+    workloads, so front-end bubbles and squash refills expose their full
+    latency.
+    """
+
+    name = "decode"
+
+    __slots__ = ("rob_size", "data_stall_threshold", "data_stall_cycles")
+
+    def __init__(self, ctx):
+        core = ctx.config.core
+        self.rob_size = core.rob_size
+        self.data_stall_threshold = int(core.data_stall_bb_frac * 4096)
+        self.data_stall_cycles = core.data_stall_cycles
+
+    def tick(self, state, cycle):
+        if state.dispatch_stall_until > cycle:
+            return
+        decode_q = state.decode_q
+        rob_size = self.rob_size
+        threshold = self.data_stall_threshold
+        while decode_q and decode_q[0][0] <= cycle:
+            group = decode_q[0]
+            if state.rob_instrs + group[1] > rob_size:
+                break
+            decode_q.popleft()
+            state.decode_instrs -= group[1]
+            start = group[2]
+            state.rob.append([group[1], group[3], start, group[1]])
+            state.rob_instrs += group[1]
+            if ((start >> 2) * 2654435761 & 0xFFF) < threshold:
+                state.dispatch_stall_until = cycle + self.data_stall_cycles
+                break
+
+    def counters(self):
+        return {}

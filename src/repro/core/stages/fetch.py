@@ -1,0 +1,160 @@
+"""Fetch unit: drain the FTQ head through the L1-I into the decode pipe."""
+
+from __future__ import annotations
+
+from ...branch.btb import BTBEntry
+from .state import CAUSE_NONE, CONDK, IND_CALL, IND_JUMP, RET, SEQ, UNCONDK
+
+
+class FetchUnit:
+    """Fetch up to ``fetch_width`` instructions per cycle from the FTQ head.
+
+    A demand L1-I miss stalls fetch and is charged to the sequential /
+    conditional / unconditional class of the block's entry edge
+    (Figure 3); wrong-path stall cycles are not charged. While dispatch is
+    data-stalled the fetch buffer is full and delivery pauses; the
+    BPU/prefetch engine keeps running ahead (that overlap is exactly what
+    decoupled prefetching exploits). Cycles where fetch is not the
+    bottleneck are not charged as front-end stall cycles.
+
+    Delivering a group whose BPU marked it mis-speculated schedules the
+    squash ``resolve_latency`` cycles out; sequential runs past an unknown
+    branch insert the decode-discovered entry into the BTB (``learn``).
+    """
+
+    name = "fetch"
+
+    __slots__ = (
+        "fetch_width",
+        "rob_size",
+        "decode_latency",
+        "resolve_latency",
+        "mem",
+        "btb",
+        "ftq",
+        "_ftq_entries",
+        "prefetcher",
+        "records",
+        "cfg_blocks",
+        "stall_seq",
+        "stall_cond",
+        "stall_uncond",
+    )
+
+    def __init__(self, ctx):
+        core = ctx.config.core
+        self.fetch_width = core.fetch_width
+        self.rob_size = core.rob_size
+        self.decode_latency = core.decode_latency
+        self.resolve_latency = core.resolve_latency
+        self.mem = ctx.mem
+        self.btb = ctx.btb
+        self.ftq = ctx.ftq
+        self._ftq_entries = ctx.ftq.entries
+        self.prefetcher = ctx.prefetcher
+        self.records = ctx.workload.trace.records
+        self.cfg_blocks = ctx.workload.cfg.blocks
+        self.stall_seq = 0
+        self.stall_cond = 0
+        self.stall_uncond = 0
+
+    def tick(self, state, cycle):
+        if state.dispatch_stall_until > cycle:
+            return
+        if state.fetch_ready > cycle:
+            cls = state.stall_cls
+            if cls == SEQ:
+                self.stall_seq += 1
+            elif cls == CONDK:
+                self.stall_cond += 1
+            elif cls == UNCONDK:
+                self.stall_uncond += 1
+            return
+        ftq_entries = self._ftq_entries
+        if state.cur_entry is None and not ftq_entries:
+            return  # nothing fetchable; any future miss re-sets stall_cls
+        state.stall_cls = -1
+        ftq = self.ftq
+        mem = self.mem
+        prefetcher = self.prefetcher
+        records = self.records
+        rob_size = self.rob_size
+        rob_instrs = state.rob_instrs
+        decode_q = state.decode_q
+        decode_instrs = state.decode_instrs
+        cur_entry = state.cur_entry
+        cur_off = state.cur_off
+        last_block = state.last_block
+        budget = self.fetch_width
+        while budget > 0 and rob_instrs + decode_instrs < rob_size:
+            if cur_entry is None:
+                if not ftq_entries:
+                    break
+                cur_entry = ftq.pop()
+                cur_off = 0
+            start, n_instrs, tidx, wp, cause, learn = cur_entry
+            pc = start + cur_off * 4
+            block = pc >> 6
+            if block != last_block:
+                discontinuity = block != last_block + 1
+                ready = mem.demand_access(block, cycle)
+                if prefetcher is not None:
+                    prefetcher.on_fetch_block(block, cycle, last_block, discontinuity)
+                    if ready > cycle:
+                        prefetcher.on_demand_miss(block, cycle, last_block, discontinuity)
+                last_block = block
+                if ready > cycle:
+                    state.fetch_ready = ready
+                    if not wp:
+                        if cur_off == 0:
+                            ek = records[tidx][5] if tidx >= 0 else SEQ
+                        else:
+                            ek = SEQ
+                        state.stall_cls = ek
+                        if ek == SEQ:
+                            self.stall_seq += 1
+                        elif ek == CONDK:
+                            self.stall_cond += 1
+                        else:
+                            self.stall_uncond += 1
+                    else:
+                        state.stall_cls = -1
+                    break
+            to_boundary = 16 - ((pc >> 2) & 15)
+            take = n_instrs - cur_off
+            if take > budget:
+                take = budget
+            if take > to_boundary:
+                take = to_boundary
+            cur_off += take
+            budget -= take
+            if cur_off >= n_instrs:
+                decode_q.append(
+                    (cycle + self.decode_latency, n_instrs, start, wp, cause)
+                )
+                decode_instrs += n_instrs
+                if learn and not wp:
+                    rec = records[tidx]
+                    blk = self.cfg_blocks[start]
+                    kind = rec[2]
+                    if kind == IND_JUMP or kind == IND_CALL:
+                        tgt = rec[4]
+                    elif kind == RET:
+                        tgt = 0
+                    else:
+                        tgt = blk.target
+                    self.btb.insert(start, BTBEntry(n_instrs, kind, tgt))
+                if cause != CAUSE_NONE:
+                    state.squash_at = cycle + self.resolve_latency
+                cur_entry = None
+        state.cur_entry = cur_entry
+        state.cur_off = cur_off
+        state.last_block = last_block
+        state.decode_instrs = decode_instrs
+
+    def counters(self):
+        return {
+            "stall_seq": self.stall_seq,
+            "stall_cond": self.stall_cond,
+            "stall_uncond": self.stall_uncond,
+        }

@@ -1,0 +1,53 @@
+"""Retire unit: drain the ROB head and feed the retire-stream prefetchers."""
+
+from __future__ import annotations
+
+
+class RetireUnit:
+    """Retire up to ``commit_width`` instructions per cycle.
+
+    A wrong-path ROB head blocks retirement until the squash clears it.
+    Fully retired blocks are reported to the temporal-stream prefetchers
+    (PIF/SHIFT monitor the retire stream, which is why they lag on
+    redirects — paper Section III-A). This stage also owns the
+    warmup-boundary bookkeeping: the first cycle the retired count crosses
+    the warmup threshold it snapshots every counter via the state's
+    ``collect_counters`` hook, exactly after retirement and before the
+    younger stages of the same cycle run.
+    """
+
+    name = "retire"
+
+    __slots__ = ("commit_width", "prefetcher")
+
+    def __init__(self, ctx):
+        self.commit_width = ctx.config.core.commit_width
+        self.prefetcher = ctx.prefetcher
+
+    def tick(self, state, cycle):
+        rob = state.rob
+        if rob:
+            budget = self.commit_width
+            prefetcher = self.prefetcher
+            while budget > 0 and rob:
+                head = rob[0]
+                if head[1]:  # wrong-path head cannot retire; wait for squash
+                    break
+                take = head[0] if head[0] <= budget else budget
+                head[0] -= take
+                state.rob_instrs -= take
+                state.retired += take
+                budget -= take
+                if head[0] == 0:
+                    rob.popleft()
+                    if prefetcher is not None:
+                        start = head[2]
+                        first = start >> 6
+                        last = (start + (head[3] - 1) * 4) >> 6
+                        for b in range(first, last + 1):
+                            prefetcher.on_retired_block(b, cycle)
+        if state.warmup_snapshot is None and state.retired >= state.warmup_instrs:
+            state.warmup_snapshot = state.collect_counters(cycle)
+
+    def counters(self):
+        return {}

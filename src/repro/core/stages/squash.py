@@ -1,0 +1,85 @@
+"""Squash unit: resolve a mis-speculation, flush younger work, redirect."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .state import CAUSE_BTB, CAUSE_COND, CAUSE_NONE, SQUASH_NEVER
+
+
+class SquashUnit:
+    """Fires when the scheduled squash cycle arrives.
+
+    Classifies the cause (BTB miss vs. direction vs. target — Figure 7),
+    flushes the FTQ, the wrong-path decode groups and the wrong-path ROB
+    tail, restores the RAS to its divergence snapshot, rewinds the BPU to
+    the resume record and charges the redirect bubble. The prefetch probe
+    FIFOs are wrong-path artifacts and are dropped with the rest.
+    """
+
+    name = "squash"
+
+    __slots__ = (
+        "ras",
+        "ftq",
+        "redirect_bubble",
+        "squash_btb",
+        "squash_cond",
+        "squash_target",
+    )
+
+    def __init__(self, ctx):
+        self.ras = ctx.ras
+        self.ftq = ctx.ftq
+        self.redirect_bubble = ctx.config.core.redirect_bubble
+        self.squash_btb = 0
+        self.squash_cond = 0
+        self.squash_target = 0
+
+    def tick(self, state, cycle):
+        if cycle < state.squash_at:
+            return
+        cause = state.div_cause
+        if cause == CAUSE_BTB:
+            self.squash_btb += 1
+        elif cause == CAUSE_COND:
+            self.squash_cond += 1
+        else:
+            self.squash_target += 1
+        # Flush younger (wrong-path) work everywhere.
+        self.ftq.flush()
+        state.cur_entry = None
+        state.cur_off = 0
+        state.fetch_ready = 0
+        state.stall_cls = -1
+        state.last_block = -1
+        decode_q = state.decode_q
+        if decode_q:
+            kept = deque(g for g in decode_q if not g[3])
+            state.decode_instrs -= sum(g[1] for g in decode_q) - sum(
+                g[1] for g in kept
+            )
+            state.decode_q = kept
+        # Wrong-path tail flush: pop younger entries off the right.
+        rob = state.rob
+        while rob and rob[-1][1]:
+            state.rob_instrs -= rob.pop()[0]
+        if state.ras_snapshot is not None:
+            self.ras.restore(state.ras_snapshot)
+            state.ras_snapshot = None
+        state.wrong_path = False
+        state.bpu_idx = state.div_resume_idx
+        state.div_cause = CAUSE_NONE
+        state.squash_at = SQUASH_NEVER
+        state.bmiss = None
+        state.bpu_stall_until = cycle + self.redirect_bubble
+        state.probe_q = []
+        state.probe_pos = 0
+        state.throttle_q.clear()
+
+    def counters(self):
+        return {
+            "squash_btb": self.squash_btb,
+            "squash_cond": self.squash_cond,
+            "squash_target": self.squash_target,
+        }

@@ -1,0 +1,183 @@
+"""Shared pipeline state and the stage-construction context.
+
+The cycle engine is a list of stage objects ticking over one mutable
+:class:`PipelineState`. The state carries exactly the values that cross
+stage boundaries within or across cycles (the FTQ-side fetch cursor, the
+decode/ROB queues, the squash schedule, the wrong-path walk position, the
+prefetch probe queues). Values that never change after construction —
+hardware blocks, the trace, config-derived widths and latencies — are bound
+into each stage at composition time instead, which keeps ``tick`` bodies on
+locals and the state object small.
+
+Squash causes and the hot-loop integer aliases of the ISA enums live here
+so every stage shares one definition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ...workloads.isa import BranchKind, EntryKind
+
+# Squash causes.
+CAUSE_NONE = 0
+CAUSE_BTB = 1       #: BTB miss for an eventually-taken branch
+CAUSE_COND = 2      #: conditional direction mispredict
+CAUSE_TARGET = 3    #: indirect/return target mispredict
+
+#: ``squash_at`` value meaning "no squash scheduled" — larger than any
+#: reachable cycle count, so the squash unit's idle path is one compare.
+SQUASH_NEVER = 1 << 62
+
+# BranchKind locals (hot-loop comparisons on ints).
+COND = int(BranchKind.COND)
+JUMP = int(BranchKind.JUMP)
+CALL = int(BranchKind.CALL)
+RET = int(BranchKind.RET)
+IND_JUMP = int(BranchKind.IND_JUMP)
+IND_CALL = int(BranchKind.IND_CALL)
+
+SEQ = int(EntryKind.SEQUENTIAL)
+CONDK = int(EntryKind.CONDITIONAL)
+UNCONDK = int(EntryKind.UNCONDITIONAL)
+
+
+class StageContext:
+    """Everything a stage may bind at construction time.
+
+    Built once per engine by :class:`~repro.core.engine.FrontEndEngine` and
+    handed to the mechanism's stage composer
+    (:func:`repro.core.mechanisms.compose_stages`). Stages pull out only
+    what they touch; unit tests can pass ``None`` for the rest.
+    """
+
+    __slots__ = (
+        "workload",
+        "config",
+        "mem",
+        "btb",
+        "btb_buf",
+        "predictor",
+        "ras",
+        "ftq",
+        "prefetcher",
+    )
+
+    def __init__(
+        self,
+        workload=None,
+        config=None,
+        mem=None,
+        btb=None,
+        btb_buf=None,
+        predictor=None,
+        ras=None,
+        ftq=None,
+        prefetcher=None,
+    ):
+        self.workload = workload
+        self.config = config
+        self.mem = mem
+        self.btb = btb
+        self.btb_buf = btb_buf
+        self.predictor = predictor
+        self.ras = ras
+        self.ftq = ftq
+        self.prefetcher = prefetcher
+
+
+class PipelineState:
+    """Mutable inter-stage state of one simulation run.
+
+    Field groups mirror the stage that owns the write side; readers are
+    noted where they differ:
+
+    * **BPU** — ``bpu_idx``, ``wrong_path``, ``wp_pc``, ``div_resume_idx``,
+      ``div_cause``, ``ras_snapshot``, ``bpu_stall_until``, ``bmiss``
+      (Boomerang's in-flight BTB-miss probe, consumed by the prefetch mux).
+    * **Fetch** — ``cur_entry``/``cur_off`` (FTQ head cursor),
+      ``fetch_ready`` (L1-I miss stall), ``stall_cls`` (charged entry
+      class), ``last_block``.
+    * **Decode/ROB** — ``decode_q`` of ``(ready, n, start, wp, cause)``
+      groups, ``rob`` of ``[n_left, wp, start, n_instrs]``, the occupancy
+      mirrors, ``squash_at`` (scheduled by fetch when a mis-speculated
+      group delivers) and ``dispatch_stall_until`` (data-side LSQ
+      backpressure).
+    * **Prefetch** — ``probe_q``/``probe_pos`` (FTQ-scan probe FIFO) and
+      ``throttle_q`` (Boomerang's sequential throttle blocks); the squash
+      unit clears all three.
+    * **Retire** — ``retired`` plus the warmup bookkeeping
+      (``warmup_instrs``, ``warmup_snapshot``, taken via
+      ``collect_counters(cycle)`` the engine installs).
+    """
+
+    __slots__ = (
+        # BPU
+        "bpu_idx",
+        "wrong_path",
+        "wp_pc",
+        "div_resume_idx",
+        "div_cause",
+        "ras_snapshot",
+        "bpu_stall_until",
+        "bmiss",
+        # fetch
+        "cur_entry",
+        "cur_off",
+        "fetch_ready",
+        "stall_cls",
+        "last_block",
+        # decode / ROB
+        "decode_q",
+        "decode_instrs",
+        "rob",
+        "rob_instrs",
+        "squash_at",
+        "dispatch_stall_until",
+        # prefetch
+        "probe_q",
+        "probe_pos",
+        "throttle_q",
+        # retire / warmup
+        "retired",
+        "warmup_instrs",
+        "warmup_snapshot",
+        "collect_counters",
+    )
+
+    def __init__(
+        self,
+        warmup_instrs: int = 0,
+        collect_counters: Callable[[int], dict] | None = None,
+    ):
+        self.bpu_idx = 0
+        self.wrong_path = False
+        self.wp_pc = 0
+        self.div_resume_idx = -1
+        self.div_cause = CAUSE_NONE
+        self.ras_snapshot = None
+        self.bpu_stall_until = 0
+        self.bmiss = None
+
+        self.cur_entry = None
+        self.cur_off = 0
+        self.fetch_ready = 0
+        self.stall_cls = -1
+        self.last_block = -1
+
+        self.decode_q = deque()
+        self.decode_instrs = 0
+        self.rob = deque()
+        self.rob_instrs = 0
+        self.squash_at = SQUASH_NEVER
+        self.dispatch_stall_until = 0
+
+        self.probe_q = []
+        self.probe_pos = 0
+        self.throttle_q = deque()
+
+        self.retired = 0
+        self.warmup_instrs = warmup_instrs
+        self.warmup_snapshot = None
+        self.collect_counters = collect_counters

@@ -8,7 +8,10 @@ no-prefetch baseline uses a shallow one that models an ordinary coupled
 fetch buffer.
 
 Entries are engine-defined tuples; the FTQ only manages capacity, ordering
-and the prefetch-scan watermark.
+and the prefetch-scan watermark. The backing deque is exposed as
+:attr:`FetchTargetQueue.entries` so per-cycle pipeline stages can bind it
+once and test occupancy/tails without a Python-level property call; treat
+it as read-only — all mutation goes through ``push``/``pop``/``flush``.
 """
 
 from __future__ import annotations
@@ -23,42 +26,43 @@ class FetchTargetQueue:
         if depth < 1:
             raise ValueError("FTQ depth must be >= 1")
         self.depth = depth
-        self._entries: deque = deque()
+        #: Backing deque, oldest entry first. Read-only for stages.
+        self.entries: deque = deque()
         #: Count of entries ever pushed; the prefetch engine keeps its own
         #: watermark against this to scan each entry exactly once.
         self.pushed = 0
         self.flushes = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.entries)
 
     def __iter__(self):
-        return iter(self._entries)
+        return iter(self.entries)
 
     @property
     def full(self) -> bool:
-        return len(self._entries) >= self.depth
+        return len(self.entries) >= self.depth
 
     @property
     def empty(self) -> bool:
-        return not self._entries
+        return not self.entries
 
     def push(self, entry) -> None:
-        if len(self._entries) >= self.depth:
+        if len(self.entries) >= self.depth:
             raise OverflowError("push on full FTQ")
-        self._entries.append(entry)
+        self.entries.append(entry)
         self.pushed += 1
 
     def pop(self):
         """Remove and return the head entry (fetch engine side)."""
-        return self._entries.popleft()
+        return self.entries.popleft()
 
     def peek(self):
-        return self._entries[0] if self._entries else None
+        return self.entries[0] if self.entries else None
 
     def flush(self) -> int:
         """Drop everything (squash); returns how many entries were dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
+        dropped = len(self.entries)
+        self.entries.clear()
         self.flushes += 1
         return dropped

@@ -4,11 +4,13 @@ Public surface:
 
 * :func:`config_digest` — exhaustive hash of a full ``SimConfig`` tree,
 * :class:`ResultCache` — persistent JSON result store (``SCHEMA_TAG``-versioned),
+* :func:`scan_cache` / :func:`prune_cache` — cache lifecycle (also the
+  ``python -m repro.runtime list|prune`` CLI),
 * :class:`SimJob` / :class:`ExperimentRuntime` — batched (parallel) execution,
 * :func:`get_runtime` / :func:`configure_runtime` — process-wide instance.
 """
 
-from .cache import SCHEMA_TAG, ResultCache
+from .cache import SCHEMA_TAG, CacheTagInfo, ResultCache, prune_cache, scan_cache
 from .confighash import canonicalize, config_digest, scale_token
 from .runner import (
     ExperimentRuntime,
@@ -20,6 +22,7 @@ from .runner import (
 
 __all__ = [
     "SCHEMA_TAG",
+    "CacheTagInfo",
     "ExperimentRuntime",
     "ResultCache",
     "SimJob",
@@ -28,5 +31,7 @@ __all__ = [
     "configure_runtime",
     "execute_job",
     "get_runtime",
+    "prune_cache",
     "scale_token",
+    "scan_cache",
 ]

@@ -1,0 +1,119 @@
+"""Result-cache lifecycle CLI.
+
+Usage::
+
+    python -m repro.runtime list  [--cache-dir DIR]
+    python -m repro.runtime prune [--cache-dir DIR] [--schema-tag TAG] [--dry-run]
+
+``list`` shows every schema-tag directory in the on-disk result cache with
+its record count and size, marking the tag the running code would read
+(records under any other tag are unreachable — the engine fingerprint
+changed since they were written). ``prune`` deletes those stale tags; pass
+``--schema-tag`` to delete one specific tag instead (including the current
+one, to force cold runs).
+
+The cache directory comes from ``--cache-dir`` or the ``REPRO_CACHE_DIR``
+environment variable — the same resolution the experiment runner uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .cache import SCHEMA_TAG, prune_cache, scan_cache
+
+
+def _fmt_size(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def _resolve_cache_dir(arg: str | None) -> str:
+    cache_dir = arg or os.environ.get("REPRO_CACHE_DIR") or ""
+    if not cache_dir:
+        raise SystemExit(
+            "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR"
+        )
+    return cache_dir
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    infos = scan_cache(cache_dir)
+    print(f"result cache at {cache_dir} (current tag: {SCHEMA_TAG})")
+    if not infos:
+        print("  empty")
+        return 0
+    stale_records = 0
+    for info in infos:
+        marker = "current" if info.current else "stale"
+        print(
+            f"  {info.tag:<48s} {info.records:6d} records  "
+            f"{_fmt_size(info.size_bytes):>10s}  [{marker}]"
+        )
+        if not info.current:
+            stale_records += info.records
+    if stale_records:
+        print(
+            f"  {stale_records} stale records reclaimable via "
+            f"`python -m repro.runtime prune`"
+        )
+    return 0
+
+
+def _cmd_prune(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    targets = prune_cache(cache_dir, schema_tag=args.schema_tag, dry_run=True)
+    if not targets:
+        target = args.schema_tag or "stale tags"
+        print(f"nothing to prune ({target}) in {cache_dir}")
+        return 0
+    if args.dry_run:
+        removed = targets
+    else:
+        removed = prune_cache(cache_dir, schema_tag=args.schema_tag)
+    verb = "would remove" if args.dry_run else "removed"
+    for info in removed:
+        print(
+            f"{verb} {info.tag}: {info.records} records, "
+            f"{_fmt_size(info.size_bytes)}"
+        )
+    failed = {t.tag for t in targets} - {r.tag for r in removed}
+    for tag in sorted(failed):
+        print(f"failed to remove {tag} (permissions?)", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="inspect and prune the on-disk simulation result cache",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show schema tags, record counts, sizes")
+    p_list.add_argument("--cache-dir", help="cache directory (or REPRO_CACHE_DIR)")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_prune = sub.add_parser("prune", help="delete stale schema-tag records")
+    p_prune.add_argument("--cache-dir", help="cache directory (or REPRO_CACHE_DIR)")
+    p_prune.add_argument(
+        "--schema-tag",
+        help="prune exactly this tag instead of every non-current tag",
+    )
+    p_prune.add_argument(
+        "--dry-run", action="store_true", help="report without deleting"
+    )
+    p_prune.set_defaults(func=_cmd_prune)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

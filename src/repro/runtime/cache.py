@@ -31,7 +31,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
+import shutil
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.results import SimulationResult
@@ -134,3 +137,95 @@ class ResultCache:
         except OSError:
             return  # a read-only or full cache dir degrades to no caching
         self.stores += 1
+
+
+# ---------------------------------------------------------------------------
+# Cache lifecycle (the ``python -m repro.runtime`` list/prune CLI)
+# ---------------------------------------------------------------------------
+
+
+#: Shape of a directory name this cache could have written (any major tag
+#: followed by the 12-hex-digit source fingerprint). ``scan_cache`` and
+#: ``prune_cache`` only ever look at — and delete — matching directories,
+#: so pointing the CLI at a directory that merely *contains* a cache (or
+#: at something else entirely) can never touch foreign data.
+_TAG_DIR_RE = re.compile(r"^engine-v\d+-[0-9a-f]{12}$")
+
+
+@dataclass(frozen=True)
+class CacheTagInfo:
+    """Aggregate of one schema-tag directory inside a cache dir."""
+
+    tag: str
+    records: int
+    size_bytes: int
+    #: True when the tag matches the running code's :data:`SCHEMA_TAG`.
+    current: bool
+
+
+def scan_cache(cache_dir: str | os.PathLike) -> list[CacheTagInfo]:
+    """Per-schema-tag record counts and sizes under ``cache_dir``.
+
+    Only directories whose name matches the schema-tag shape are
+    considered; anything else living next to the cache is ignored. Tags
+    sort current-first then by name, so a stale-tag listing reads off
+    the top of the output. A missing directory is an empty cache.
+    """
+    root = Path(cache_dir)
+    infos: list[CacheTagInfo] = []
+    if not root.is_dir():
+        return infos
+    for tag_dir in sorted(
+        p for p in root.iterdir() if p.is_dir() and _TAG_DIR_RE.match(p.name)
+    ):
+        records = 0
+        size = 0
+        for path in tag_dir.rglob("*.json"):
+            records += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        infos.append(
+            CacheTagInfo(
+                tag=tag_dir.name,
+                records=records,
+                size_bytes=size,
+                current=tag_dir.name == SCHEMA_TAG,
+            )
+        )
+    infos.sort(key=lambda i: (not i.current, i.tag))
+    return infos
+
+
+def prune_cache(
+    cache_dir: str | os.PathLike,
+    schema_tag: str | None = None,
+    dry_run: bool = False,
+) -> list[CacheTagInfo]:
+    """Delete stale schema-tag directories; returns what was (or would be) removed.
+
+    Without ``schema_tag`` every tag except the running code's current
+    :data:`SCHEMA_TAG` is removed — the normal "collect garbage after a
+    few engine changes" call. With ``schema_tag`` only that tag is removed
+    (including the current one, for a forced cold run). ``dry_run`` only
+    reports. A tag whose directory survives the deletion attempt (e.g. a
+    read-only mount) is *not* reported as removed, so callers never claim
+    to have reclaimed space they did not.
+    """
+    root = Path(cache_dir)
+    removed: list[CacheTagInfo] = []
+    for info in scan_cache(root):
+        if schema_tag is None:
+            if info.current:
+                continue
+        elif info.tag != schema_tag:
+            continue
+        if dry_run:
+            removed.append(info)
+            continue
+        tag_dir = root / info.tag
+        shutil.rmtree(tag_dir, ignore_errors=True)
+        if not tag_dir.exists():
+            removed.append(info)
+    return removed

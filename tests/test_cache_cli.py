@@ -1,0 +1,102 @@
+"""Tests for the result-cache lifecycle CLI (``python -m repro.runtime``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mechanisms import make_config
+from repro.runtime import SCHEMA_TAG, ExperimentRuntime, prune_cache, scan_cache
+from repro.runtime.__main__ import main
+
+WL = "streaming"
+SCALE = 0.05
+
+#: A plausible stale tag: same major, different source fingerprint.
+STALE_TAG = "engine-v1-000000000000"
+
+
+def _populate(cache_dir, n_stale=2):
+    """One real record under the current tag + fabricated stale records."""
+    rt = ExperimentRuntime(cache_dir=cache_dir)
+    rt.run_one(WL, make_config("none"), SCALE)
+    stale_dir = cache_dir / STALE_TAG / WL
+    stale_dir.mkdir(parents=True)
+    for i in range(n_stale):
+        (stale_dir / f"s0.05__{i:016x}.json").write_text("{}")
+
+
+class TestScanAndPrune:
+    def test_scan_reports_tags_current_first(self, tmp_path):
+        _populate(tmp_path)
+        infos = scan_cache(tmp_path)
+        assert [i.tag for i in infos] == [SCHEMA_TAG, STALE_TAG]
+        assert infos[0].current and not infos[1].current
+        assert infos[0].records == 1 and infos[1].records == 2
+        assert infos[1].size_bytes > 0
+
+    def test_scan_missing_dir_is_empty(self, tmp_path):
+        assert scan_cache(tmp_path / "nope") == []
+
+    def test_foreign_directories_never_scanned_or_pruned(self, tmp_path):
+        """A mis-pointed --cache-dir must not treat (or delete) arbitrary
+        directories as stale schema tags."""
+        _populate(tmp_path)
+        precious = tmp_path / "src"
+        precious.mkdir()
+        (precious / "keep.json").write_text("{}")
+        assert all(i.tag != "src" for i in scan_cache(tmp_path))
+        removed = prune_cache(tmp_path)
+        assert [i.tag for i in removed] == [STALE_TAG]
+        assert (precious / "keep.json").exists()
+
+    def test_prune_removes_only_stale_tags(self, tmp_path):
+        _populate(tmp_path)
+        removed = prune_cache(tmp_path)
+        assert [i.tag for i in removed] == [STALE_TAG]
+        assert not (tmp_path / STALE_TAG).exists()
+        assert (tmp_path / SCHEMA_TAG).exists()
+        # The surviving record still serves warm hits.
+        warm = ExperimentRuntime(cache_dir=tmp_path)
+        warm.run_one(WL, make_config("none"), SCALE)
+        assert warm.executed == 0
+
+    def test_prune_dry_run_deletes_nothing(self, tmp_path):
+        _populate(tmp_path)
+        removed = prune_cache(tmp_path, dry_run=True)
+        assert [i.tag for i in removed] == [STALE_TAG]
+        assert (tmp_path / STALE_TAG).exists()
+
+    def test_prune_specific_tag_can_target_current(self, tmp_path):
+        _populate(tmp_path)
+        removed = prune_cache(tmp_path, schema_tag=SCHEMA_TAG)
+        assert [i.tag for i in removed] == [SCHEMA_TAG]
+        assert (tmp_path / STALE_TAG).exists()
+
+
+class TestCli:
+    def test_list_output(self, tmp_path, capsys):
+        _populate(tmp_path)
+        assert main(["list", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert SCHEMA_TAG in out and STALE_TAG in out
+        assert "[current]" in out and "[stale]" in out
+        assert "2 stale records reclaimable" in out
+
+    def test_prune_then_list_empty_of_stale(self, tmp_path, capsys):
+        _populate(tmp_path)
+        assert main(["prune", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"removed {STALE_TAG}" in out
+        assert main(["list", "--cache-dir", str(tmp_path)]) == 0
+        assert STALE_TAG not in capsys.readouterr().out
+
+    def test_cache_dir_from_env(self, tmp_path, capsys, monkeypatch):
+        _populate(tmp_path)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["list"]) == 0
+        assert SCHEMA_TAG in capsys.readouterr().out
+
+    def test_no_cache_dir_is_an_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit):
+            main(["list"])
