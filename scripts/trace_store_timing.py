@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Report cold-vs-warm workload build times through the trace store.
+
+For every profile in the chosen set, measure:
+
+* **cold** — a full in-process build (CFG builder + streaming trace
+  walker), which is what every pool worker paid per workload before the
+  persistent store existed;
+* **warm** — the same ``load_workload`` call against a populated store
+  (the in-process memo is cleared in between, so the hit really comes
+  off disk).
+
+The cold pass populates the store, so running this against the cache
+directory a sweep is about to use doubles as a warm-up. CI runs it after
+the experiment smoke runs and appends the table to the step summary next
+to the result-cache hit counts.
+
+Usage::
+
+    python scripts/trace_store_timing.py --cache-dir DIR
+        [--set paper|extended|all] [--scale 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.workloads import (  # noqa: E402  (path bootstrap above)
+    clear_workload_cache,
+    configure_trace_store,
+    get_trace_store,
+    load_workload,
+    workload_set,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", required=True, help="trace store directory")
+    parser.add_argument("--set", default="all", help="profile set (default: all)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="workload scale (default: quick, 0.25)")
+    args = parser.parse_args(argv)
+
+    profiles = workload_set(args.set)
+
+    # Cold pass: build with the store attached but empty (or stale), so the
+    # records land on disk for the warm pass and for any following sweep.
+    configure_trace_store(args.cache_dir)
+    store = get_trace_store()
+    rows: list[tuple[str, float, float]] = []
+    for profile in profiles:
+        clear_workload_cache()
+        hits_before = store.hits
+        t0 = time.perf_counter()
+        load_workload(profile.name, scale=args.scale)
+        t_first = time.perf_counter() - t0
+        first_was_hit = store.hits > hits_before
+
+        clear_workload_cache()
+        t0 = time.perf_counter()
+        load_workload(profile.name, scale=args.scale)
+        t_warm = time.perf_counter() - t0
+        # If the store was already warm, the first pass was not a cold
+        # build; rebuild without the store to report an honest cold time.
+        if first_was_hit:
+            clear_workload_cache()
+            configure_trace_store(None)
+            t0 = time.perf_counter()
+            load_workload(profile.name, scale=args.scale)
+            t_first = time.perf_counter() - t0
+            configure_trace_store(args.cache_dir)
+        rows.append((profile.name, t_first, t_warm))
+
+    print(f"trace store at {args.cache_dir} (scale {args.scale}, set {args.set})")
+    print(f"{'workload':<14s} {'cold build':>12s} {'warm load':>12s} {'speedup':>8s}")
+    total_cold = total_warm = 0.0
+    for name, cold, warm in rows:
+        total_cold += cold
+        total_warm += warm
+        speedup = cold / warm if warm > 0 else float("inf")
+        print(f"{name:<14s} {cold * 1e3:>10.1f}ms {warm * 1e3:>10.1f}ms {speedup:>7.1f}x")
+    speedup = total_cold / total_warm if total_warm > 0 else float("inf")
+    print(f"{'total':<14s} {total_cold * 1e3:>10.1f}ms {total_warm * 1e3:>10.1f}ms "
+          f"{speedup:>7.1f}x")
+    if total_warm >= total_cold:
+        print("WARNING: warm loads were not faster than cold builds", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

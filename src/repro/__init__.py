@@ -40,11 +40,13 @@ from .errors import (
 )
 from .workloads import (
     ALL_PROFILES,
+    EXTENDED_PROFILES,
     Workload,
     WorkloadProfile,
     get_profile,
     load_workload,
     profile_names,
+    workload_set,
 )
 
 __version__ = "1.0.0"
@@ -56,6 +58,7 @@ __all__ = [
     "CacheParams",
     "ConfigError",
     "CoreParams",
+    "EXTENDED_PROFILES",
     "FIGURE_MECHANISMS",
     "FrontEndEngine",
     "INSTR_BYTES",
@@ -79,4 +82,5 @@ __all__ = [
     "make_config",
     "profile_names",
     "run_mechanism",
+    "workload_set",
 ]

@@ -103,7 +103,7 @@ class FrontEndEngine:
     def run(self, max_instructions: int | None = None) -> dict[str, float]:
         """Simulate the workload's trace; returns the measured-region stats."""
         wl = self.workload
-        n_records = len(wl.trace.records)
+        n_records = len(wl.trace)
         total_instrs = wl.trace.n_instrs
         if max_instructions is not None:
             total_instrs = min(total_instrs, max_instructions)

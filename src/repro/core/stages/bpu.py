@@ -23,6 +23,13 @@ from ...branch.btb import BTBEntry
 from ...branch.predictors.base import OraclePredictor
 from ...errors import SimulationError
 from ...frontend.predecode import boomerang_fill
+from ...workloads.trace import (
+    REC_KIND,
+    REC_NEXT,
+    REC_NINSTR,
+    REC_START,
+    REC_TAKEN,
+)
 from .state import (
     CALL,
     CAUSE_BTB,
@@ -45,7 +52,11 @@ class BPUStage:
     name = "bpu"
 
     __slots__ = (
-        "records",
+        "col_start",
+        "col_ninstr",
+        "col_kind",
+        "col_taken",
+        "col_next",
         "n_records",
         "cfg_blocks",
         "_starts_sorted",
@@ -64,8 +75,15 @@ class BPUStage:
 
     def __init__(self, ctx):
         wl = ctx.workload
-        self.records = wl.trace.records
-        self.n_records = len(self.records)
+        # Hot per-prediction reads go straight at the trace columns: one
+        # C-level array index per field, no per-record tuple.
+        columns = wl.trace.columns
+        self.col_start = columns[REC_START]
+        self.col_ninstr = columns[REC_NINSTR]
+        self.col_kind = columns[REC_KIND]
+        self.col_taken = columns[REC_TAKEN]
+        self.col_next = columns[REC_NEXT]
+        self.n_records = len(wl.trace)
         self.cfg_blocks = wl.cfg.blocks
         self._starts_sorted = sorted(wl.cfg.blocks)
         self.btb = ctx.btb
@@ -106,12 +124,12 @@ class BPUStage:
     # --------------------------------------------------------- correct path
 
     def _predict(self, state, cycle):
-        rec = self.records[state.bpu_idx]
-        start = rec[0]
-        n_instrs = rec[1]
-        kind = rec[2]
-        taken = rec[3]
-        actual_next = rec[4]
+        idx = state.bpu_idx
+        start = self.col_start[idx]
+        n_instrs = self.col_ninstr[idx]
+        kind = self.col_kind[idx]
+        taken = self.col_taken[idx]
+        actual_next = self.col_next[idx]
         blk = self.cfg_blocks[start]
         branch_pc = start + (n_instrs - 1) * 4
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ...branch.btb import BTBEntry
+from ...workloads.trace import REC_ENTRY, REC_KIND, REC_NEXT
 from .state import CAUSE_NONE, CONDK, IND_CALL, IND_JUMP, RET, SEQ, UNCONDK
 
 
@@ -34,7 +35,9 @@ class FetchUnit:
         "ftq",
         "_ftq_entries",
         "prefetcher",
-        "records",
+        "col_entry",
+        "col_kind",
+        "col_next",
         "cfg_blocks",
         "stall_seq",
         "stall_cond",
@@ -52,7 +55,10 @@ class FetchUnit:
         self.ftq = ctx.ftq
         self._ftq_entries = ctx.ftq.entries
         self.prefetcher = ctx.prefetcher
-        self.records = ctx.workload.trace.records
+        columns = ctx.workload.trace.columns
+        self.col_entry = columns[REC_ENTRY]
+        self.col_kind = columns[REC_KIND]
+        self.col_next = columns[REC_NEXT]
         self.cfg_blocks = ctx.workload.cfg.blocks
         self.stall_seq = 0
         self.stall_cond = 0
@@ -77,7 +83,7 @@ class FetchUnit:
         ftq = self.ftq
         mem = self.mem
         prefetcher = self.prefetcher
-        records = self.records
+        col_entry = self.col_entry
         rob_size = self.rob_size
         rob_instrs = state.rob_instrs
         decode_q = state.decode_q
@@ -107,7 +113,7 @@ class FetchUnit:
                     state.fetch_ready = ready
                     if not wp:
                         if cur_off == 0:
-                            ek = records[tidx][5] if tidx >= 0 else SEQ
+                            ek = col_entry[tidx] if tidx >= 0 else SEQ
                         else:
                             ek = SEQ
                         state.stall_cls = ek
@@ -134,15 +140,13 @@ class FetchUnit:
                 )
                 decode_instrs += n_instrs
                 if learn and not wp:
-                    rec = records[tidx]
-                    blk = self.cfg_blocks[start]
-                    kind = rec[2]
+                    kind = self.col_kind[tidx]
                     if kind == IND_JUMP or kind == IND_CALL:
-                        tgt = rec[4]
+                        tgt = self.col_next[tidx]
                     elif kind == RET:
                         tgt = 0
                     else:
-                        tgt = blk.target
+                        tgt = self.cfg_blocks[start].target
                     self.btb.insert(start, BTBEntry(n_instrs, kind, tgt))
                 if cause != CAUSE_NONE:
                     state.squash_at = cycle + self.resolve_latency

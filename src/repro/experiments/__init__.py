@@ -23,7 +23,7 @@ from . import (
 )
 from .common import (
     SCALES,
-    WORKLOAD_ORDER,
+    workload_names,
     ExperimentResult,
     ExperimentScale,
     baseline_config,
@@ -61,7 +61,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentScale",
     "SCALES",
-    "WORKLOAD_ORDER",
+    "workload_names",
     "baseline_config",
     "baseline_for",
     "clear_run_cache",

@@ -16,7 +16,7 @@ from dataclasses import replace
 from ..core.mechanisms import make_config
 from ..stats import geometric_mean
 from .common import (
-    WORKLOAD_ORDER,
+    workload_names,
     ExperimentResult,
     baseline_config,
     baseline_for,
@@ -61,7 +61,7 @@ def _gmean_speedup(cfg, names, scale) -> float:
 
 def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
     scale = get_scale(scale_name)
-    names = workloads if workloads is not None else WORKLOAD_ORDER
+    names = workloads if workloads is not None else workload_names()
     result = ExperimentResult(
         exhibit="ablations",
         title="Boomerang design ablations (gmean speedup over baseline)",

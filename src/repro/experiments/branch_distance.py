@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..workloads.trace import taken_conditional_distances
 from ..workloads.workload import load_workload
-from .common import WORKLOAD_ORDER, ExperimentResult, get_scale
+from .common import workload_names, ExperimentResult, get_scale
 
 #: CDF distance buckets reported (in cache blocks), per the paper's x-axis.
 DISTANCES = (0, 1, 2, 3, 4, 5, 6, 7, 8)
@@ -18,7 +18,7 @@ DISTANCES = (0, 1, 2, 3, 4, 5, 6, 7, 8)
 
 def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
     scale = get_scale(scale_name)
-    names = workloads if workloads is not None else WORKLOAD_ORDER
+    names = workloads if workloads is not None else workload_names()
     result = ExperimentResult(
         exhibit="figure4",
         title="Figure 4: CDF of taken-conditional jump distance (cache blocks)",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..core.mechanisms import make_config
 from .common import (
-    WORKLOAD_ORDER,
+    workload_names,
     ExperimentResult,
     baseline_config,
     baseline_for,
@@ -21,7 +21,7 @@ from .common import (
 
 def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
     scale = get_scale(scale_name)
-    names = workloads if workloads is not None else WORKLOAD_ORDER
+    names = workloads if workloads is not None else workload_names()
     latencies = scale.latency_points
     result = ExperimentResult(
         exhibit="figure5",

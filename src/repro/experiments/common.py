@@ -4,7 +4,9 @@ Experiments default to the ``default`` scale; set ``REPRO_SCALE=quick`` for
 CI-speed runs or ``REPRO_SCALE=full`` for the most faithful (slowest)
 regeneration. All scales preserve the footprint:structure over-subscription
 ratios (see DESIGN.md section 5.6); quick runs shrink trace length and
-sweep density, not the microarchitecture.
+sweep density, not the microarchitecture. ``REPRO_WORKLOAD_SET`` likewise
+selects which profiles the grids iterate (``paper`` by default; ``all``
+adds the four extended scenarios) without touching any paper figure.
 
 Execution and caching are owned by :mod:`repro.runtime`:
 
@@ -38,10 +40,17 @@ from ..config import SimConfig
 from ..core.mechanisms import make_config
 from ..core.results import SimulationResult
 from ..runtime import SimJob, get_runtime
-from ..workloads.profiles import ALL_PROFILES
+from ..workloads.profiles import workload_set
 
-#: Paper-order workload names.
-WORKLOAD_ORDER: tuple[str, ...] = tuple(p.name for p in ALL_PROFILES)
+def workload_names(set_name: str | None = None) -> tuple[str, ...]:
+    """Workload names every experiment iterates, in paper order.
+
+    Resolved at call time (mirroring :func:`get_scale`): defaults to the
+    six Table II equivalents, ``REPRO_WORKLOAD_SET=all`` (or
+    ``extended``) sweeps the extra scenario profiles — the paper-figure
+    grids are untouched unless a run opts in.
+    """
+    return tuple(p.name for p in workload_set(set_name))
 
 
 @dataclass(frozen=True)

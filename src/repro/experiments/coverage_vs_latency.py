@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..core.mechanisms import make_config
 from .common import (
-    WORKLOAD_ORDER,
+    workload_names,
     ExperimentResult,
     baseline_config,
     baseline_for,
@@ -39,7 +39,7 @@ SERIES: tuple[tuple[str, str, str], ...] = (
 
 def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
     scale = get_scale(scale_name)
-    names = workloads if workloads is not None else WORKLOAD_ORDER
+    names = workloads if workloads is not None else workload_names()
     latencies = scale.latency_points
     result = ExperimentResult(
         exhibit="figure2",

@@ -13,7 +13,7 @@ from dataclasses import replace
 from ..core.mechanisms import make_config
 from ..stats import geometric_mean
 from .common import (
-    WORKLOAD_ORDER,
+    workload_names,
     ExperimentResult,
     baseline_config,
     baseline_for,
@@ -42,7 +42,7 @@ def _crossbar(cfg):
 
 def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
     scale = get_scale(scale_name)
-    names = workloads if workloads is not None else WORKLOAD_ORDER
+    names = workloads if workloads is not None else workload_names()
     result = ExperimentResult(
         exhibit="figure11",
         title="Figure 11: speedup over no-prefetch baseline, crossbar NoC (18-cycle LLC)",

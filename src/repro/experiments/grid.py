@@ -5,7 +5,7 @@ from __future__ import annotations
 from ..core.mechanisms import FIGURE_MECHANISMS, make_config
 from ..core.results import SimulationResult
 from .common import (
-    WORKLOAD_ORDER,
+    workload_names,
     ExperimentScale,
     baseline_config,
     precompute,
@@ -37,7 +37,7 @@ def run_grid(
     memoized process-wide and the three figures sharing this grid pay for
     it once.
     """
-    names = workloads if workloads is not None else WORKLOAD_ORDER
+    names = workloads if workloads is not None else workload_names()
     cells: list[tuple[str, str]] = []
     pairs = []
     for wl in names:

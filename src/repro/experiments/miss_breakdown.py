@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ..core.mechanisms import make_config
 from .common import (
-    WORKLOAD_ORDER,
+    workload_names,
     ExperimentResult,
     baseline_config,
     baseline_for,
@@ -37,7 +37,7 @@ def _configs(scale) -> list[tuple[str, object]]:
 
 def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
     scale = get_scale(scale_name)
-    names = workloads if workloads is not None else WORKLOAD_ORDER
+    names = workloads if workloads is not None else workload_names()
     result = ExperimentResult(
         exhibit="figure3",
         title="Figure 3: miss-cycle breakdown, % of no-prefetch baseline miss cycles",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..core.mechanisms import make_config
 from .common import (
-    WORKLOAD_ORDER,
+    workload_names,
     ExperimentResult,
     get_scale,
     precompute,
@@ -19,7 +19,7 @@ from .common import (
 
 def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
     scale = get_scale(scale_name)
-    names = workloads if workloads is not None else WORKLOAD_ORDER
+    names = workloads if workloads is not None else workload_names()
     result = ExperimentResult(
         exhibit="figure1",
         title="Figure 1: speedup of perfect L1-I / perfect L1-I+BTB over baseline",

@@ -10,13 +10,13 @@ squashes); Boomerang and Confluence eliminate >85% of BTB-miss squashes
 from __future__ import annotations
 
 from ..core.mechanisms import FIGURE_MECHANISMS
-from .common import WORKLOAD_ORDER, ExperimentResult, get_scale
+from .common import workload_names, ExperimentResult, get_scale
 from .grid import MECHANISM_LABELS, run_grid
 
 
 def run(scale_name: str | None = None, workloads: tuple[str, ...] | None = None) -> ExperimentResult:
     scale = get_scale(scale_name)
-    names = workloads if workloads is not None else WORKLOAD_ORDER
+    names = workloads if workloads is not None else workload_names()
     grid = run_grid(scale, workloads=names)
     result = ExperimentResult(
         exhibit="figure7",

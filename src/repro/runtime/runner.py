@@ -36,7 +36,11 @@ from dataclasses import dataclass
 from ..config import SimConfig
 from ..core.results import SimulationResult
 from ..core.simulator import Simulator
-from ..workloads.workload import load_workload
+from ..workloads.workload import (
+    configure_trace_store,
+    load_workload,
+    trace_store_env_value,
+)
 from .cache import ResultCache
 from .confighash import config_digest, scale_token
 
@@ -150,17 +154,36 @@ class ExperimentRuntime:
                 ctx = multiprocessing.get_context()  # spawn-only platform
             if ctx.get_start_method() == "fork":
                 # Build each distinct workload once in this process first:
-                # forked children then inherit the built CFG/trace for free
-                # instead of regenerating it per worker. (Pointless under
-                # spawn, where workers start from a fresh interpreter.)
+                # forked children then inherit the built CFG and the flat
+                # columnar trace copy-on-write instead of regenerating them
+                # per worker. (Under spawn, workers start from a fresh
+                # interpreter and instead warm up from the persistent trace
+                # store when one is configured.)
                 for wl, scale in {(j.workload, j.workload_scale) for j in jobs}:
                     load_workload(wl, scale=scale)
+            # A store configured via configure_trace_store() — a directory
+            # or an explicit disable — lives in a module global that
+            # spawn-started workers (fresh interpreters) would never see;
+            # export it for the lifetime of the pool ("" = disabled) so
+            # every worker resolves the same store regardless of start
+            # method, then restore the environment (a leaked value would
+            # override later reconfiguration or env changes).
+            env_value = trace_store_env_value()
+            env_before = os.environ.get("REPRO_TRACE_STORE")
+            if env_value is not None:
+                os.environ["REPRO_TRACE_STORE"] = env_value
             workers = min(self.jobs, len(jobs))
             try:
                 with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
                     return list(pool.map(execute_job, jobs))
             except OSError:
                 pass  # no pool support (restricted sandbox) — run serially
+            finally:
+                if env_value is not None:
+                    if env_before is None:
+                        os.environ.pop("REPRO_TRACE_STORE", None)
+                    else:
+                        os.environ["REPRO_TRACE_STORE"] = env_before
         return [execute_job(job) for job in jobs]
 
     # ------------------------------------------------------------- control
@@ -205,7 +228,10 @@ def configure_runtime(
 
     The previous runtime's in-process memo is carried over (its entries
     stay valid — keys are content-addressed), so reconfiguring mid-process
-    never discards work.
+    never discards work. An explicit ``cache_dir`` also points the
+    workload trace store at the same directory (the two subsystems use
+    disjoint schema-tag subdirectories), so ``--cache-dir`` gives pool
+    workers warm workload builds as well as warm results.
     """
     global _RUNTIME
     runtime = _from_env()
@@ -215,6 +241,7 @@ def configure_runtime(
         runtime.jobs = jobs
     if cache_dir is not None:
         runtime.disk = ResultCache(cache_dir)
+        configure_trace_store(cache_dir)
     if _RUNTIME is not None:
         runtime._memo.update(_RUNTIME._memo)
     _RUNTIME = runtime

@@ -1,13 +1,19 @@
-"""Synthetic server workloads: profiles, CFG builder and trace walker.
+"""Synthetic server workloads: profiles, CFG builder, traces and the store.
 
 This subpackage substitutes for the paper's Flexus-captured commercial
 workloads (see DESIGN.md section 2). The public surface is:
 
 * :func:`load_workload` / :class:`Workload` — build a ready-to-simulate
-  workload from a named profile,
-* :data:`ALL_PROFILES`, :func:`get_profile` — the six Table II equivalents,
+  workload from a named profile (memoized by content digest, optionally
+  persisted via the trace store),
+* :data:`ALL_PROFILES` (six Table II equivalents),
+  :data:`EXTENDED_PROFILES` (four extra scenarios), :func:`workload_set` /
+  ``REPRO_WORKLOAD_SET``, :func:`get_profile`,
 * :class:`ControlFlowGraph` / :func:`build_cfg` — the static program model,
-* :func:`generate_trace` / :class:`Trace` — deterministic dynamic traces.
+* :func:`generate_trace` / :class:`Trace` — deterministic columnar traces,
+* :class:`TraceStore` / :func:`profile_digest` — the persistent
+  content-addressed workload store (``python -m repro.workloads`` is its
+  lifecycle CLI).
 """
 
 from .builder import build_cfg, reachable_blocks
@@ -16,16 +22,24 @@ from .isa import BranchKind, EntryKind
 from .profiles import (
     ALL_PROFILES,
     APACHE,
+    COMPILERPASS,
     DB2,
+    EXTENDED_PROFILES,
+    INTERP,
+    MICRORPC,
+    MLSERVE,
     NUTCH,
     ORACLE,
+    PROFILE_SETS,
     STREAMING,
     ZEUS,
     WorkloadProfile,
     get_profile,
     profile_names,
+    workload_set,
 )
 from .trace import (
+    COLUMN_SPECS,
     REC_ENTRY,
     REC_KIND,
     REC_NEXT,
@@ -33,27 +47,56 @@ from .trace import (
     REC_START,
     REC_TAKEN,
     Trace,
+    TraceBuilder,
+    TraceRecordView,
     TraceSummary,
     generate_trace,
     summarize,
     taken_conditional_distances,
 )
-from .workload import Workload, clear_workload_cache, load_workload
+from .tracestore import (
+    TRACE_SCHEMA_TAG,
+    TraceStore,
+    TraceStoreTagInfo,
+    profile_digest,
+    prune_trace_store,
+    scan_trace_store,
+)
+from .workload import (
+    Workload,
+    clear_workload_cache,
+    configure_trace_store,
+    get_trace_store,
+    load_workload,
+    reset_trace_store,
+)
 
 __all__ = [
     "ALL_PROFILES",
     "APACHE",
+    "COMPILERPASS",
     "DB2",
+    "EXTENDED_PROFILES",
+    "INTERP",
+    "MICRORPC",
+    "MLSERVE",
     "NUTCH",
     "ORACLE",
+    "PROFILE_SETS",
     "STREAMING",
     "ZEUS",
     "BranchKind",
+    "COLUMN_SPECS",
     "ControlFlowGraph",
     "EntryKind",
     "Function",
     "StaticBlock",
+    "TRACE_SCHEMA_TAG",
     "Trace",
+    "TraceBuilder",
+    "TraceRecordView",
+    "TraceStore",
+    "TraceStoreTagInfo",
     "TraceSummary",
     "Workload",
     "WorkloadProfile",
@@ -65,11 +108,18 @@ __all__ = [
     "REC_TAKEN",
     "build_cfg",
     "clear_workload_cache",
+    "configure_trace_store",
     "generate_trace",
     "get_profile",
+    "get_trace_store",
     "load_workload",
+    "profile_digest",
     "profile_names",
+    "prune_trace_store",
     "reachable_blocks",
+    "reset_trace_store",
+    "scan_trace_store",
     "summarize",
     "taken_conditional_distances",
+    "workload_set",
 ]

@@ -32,9 +32,6 @@ _FUNC_ALIGN = 16
 #: Largest basic block the builder emits, in instructions.
 _MAX_BB_INSTRS = 24
 
-#: Fraction of direct jumps converted into indirect (switch-style) jumps.
-_IND_JUMP_FRAC = 0.10
-
 
 @dataclass
 class _FunctionPlan:
@@ -328,7 +325,7 @@ def _resolve_function(
             lo = min(i + 2, last)
             skip = min(last, lo + int(rng.expovariate(1 / 2.0)))
             target = plan.bb_starts[skip]
-            if last > lo and rng.random() < _IND_JUMP_FRAC:
+            if last > lo and rng.random() < profile.indirect_jump_frac:
                 kind = BranchKind.IND_JUMP
                 candidates = plan.bb_starts[lo : last + 1]
                 indirect = _indirect_target_set(rng, candidates, 4)

@@ -5,20 +5,40 @@ Bernoulli conditional outcomes and sticky indirect-target selection — all
 driven by a private seeded PRNG, so the same workload always produces the
 same trace and every mechanism is evaluated on identical input.
 
-Trace records are plain tuples for speed; the ``REC_*`` index constants
-name their fields.
+Traces are stored **columnar**: six parallel ``array`` columns (one per
+``REC_*`` field) instead of one Python tuple per record. A full-scale
+trace is a few flat megabytes of C integers rather than hundreds of
+megabytes of boxed tuples, the columns pickle/serialize as raw bytes (the
+:mod:`~repro.workloads.tracestore` disk format is exactly
+``array.tobytes`` per column), and forked pool workers share them
+copy-on-write. Consumers have two views:
+
+* ``trace.columns[REC_KIND]`` etc. — the raw columns, used by the engine's
+  hot per-prediction loop (indexed reads, no per-record allocation);
+* ``trace.records`` — a zero-copy :class:`TraceRecordView` that behaves
+  like the old ``list[tuple]`` (indexing and slicing materialize tuples on
+  demand; iteration is a C-level ``zip`` over the columns).
+
+Generation is **streaming**: the walker emits records through a
+:class:`TraceBuilder`, a bounded-memory emitter that buffers a small chunk
+of records and transposes it into the columns, so peak memory during
+generation no longer scales with one live tuple (plus six boxed ints) per
+record.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass, field
+from operator import itemgetter
 
+from ..config import INSTR_BYTES
 from ..errors import WorkloadError
 from .cfg import ControlFlowGraph, StaticBlock
 from .isa import BranchKind, EntryKind, block_of, blocks_spanned
 
-#: Tuple-field indexes of one trace record.
+#: Column indexes of one trace record (also the ``trace.columns`` order).
 REC_START = 0     #: basic-block start pc
 REC_NINSTR = 1    #: instructions in the block
 REC_KIND = 2      #: BranchKind of the terminating branch
@@ -26,8 +46,21 @@ REC_TAKEN = 3     #: 1 if the branch redirected the fetch stream
 REC_NEXT = 4      #: start pc of the next basic block on the correct path
 REC_ENTRY = 5     #: EntryKind — how control arrived at this block
 
-#: One trace record: (start, n_instrs, kind, taken, next_pc, entry_kind).
+#: One materialized trace record: (start, n_instrs, kind, taken, next_pc,
+#: entry_kind). The storage is columnar; this is the view/emit row type.
 TraceRecord = tuple[int, int, int, int, int, int]
+
+#: (name, array typecode) per column, in ``REC_*`` order. Typecodes are
+#: fixed-width on every supported platform ('q' = int64, 'i' = int32,
+#: 'b' = int8), so serialized columns are portable across processes.
+COLUMN_SPECS: tuple[tuple[str, str], ...] = (
+    ("start", "q"),
+    ("ninstr", "i"),
+    ("kind", "b"),
+    ("taken", "b"),
+    ("next", "q"),
+    ("entry", "b"),
+)
 
 #: Probability that an indirect branch repeats its previous target.
 _INDIRECT_STICKINESS = 0.6
@@ -35,25 +68,85 @@ _INDIRECT_STICKINESS = 0.6
 #: Call-stack depth cap; deeper calls are treated as tail calls.
 _MAX_CALL_DEPTH = 64
 
+#: Records buffered by :class:`TraceBuilder` before a transpose flush.
+_EMIT_CHUNK = 16384
+
+_FIELD_GETTERS = tuple(itemgetter(i) for i in range(len(COLUMN_SPECS)))
+
+
+def _empty_columns() -> tuple[array, ...]:
+    return tuple(array(typecode) for _, typecode in COLUMN_SPECS)
+
+
+class TraceRecordView:
+    """Zero-copy, ``list[tuple]``-compatible view over the trace columns.
+
+    Indexing materializes one tuple; slicing materializes a list of tuples
+    (only for the requested range); iteration is a C-level ``zip`` over the
+    columns. Equality compares the underlying columns without building any
+    tuples at all.
+    """
+
+    __slots__ = ("_columns",)
+
+    def __init__(self, columns: tuple[array, ...]):
+        self._columns = columns
+
+    def __len__(self) -> int:
+        return len(self._columns[0])
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(zip(*(col[index] for col in self._columns)))
+        return tuple(col[index] for col in self._columns)
+
+    def __iter__(self):
+        return zip(*self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TraceRecordView):
+            return self._columns == other._columns
+        if isinstance(other, (list, tuple)):
+            return len(other) == len(self) and all(
+                tuple(got) == tuple(want) for got, want in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"TraceRecordView({len(self)} records)"
+
 
 @dataclass
 class Trace:
-    """A dynamic basic-block trace over a static CFG."""
+    """A dynamic basic-block trace over a static CFG (columnar storage)."""
 
     cfg: ControlFlowGraph
-    records: list[TraceRecord]
+    columns: tuple[array, ...]
     seed: int
     n_instrs: int = 0
+    records: TraceRecordView = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        if len(self.columns) != len(COLUMN_SPECS):
+            raise WorkloadError(
+                f"trace needs {len(COLUMN_SPECS)} columns, got {len(self.columns)}"
+            )
+        n = len(self.columns[0])
+        if any(len(col) != n for col in self.columns):
+            raise WorkloadError("trace columns have unequal lengths")
         if not self.n_instrs:
-            self.n_instrs = sum(r[REC_NINSTR] for r in self.records)
+            self.n_instrs = sum(self.columns[REC_NINSTR])
+        self.records = TraceRecordView(self.columns)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.columns[0])
 
     def __iter__(self):
         return iter(self.records)
+
+    def column(self, index: int) -> array:
+        """One raw column by its ``REC_*`` index."""
+        return self.columns[index]
 
     def block(self, record: TraceRecord) -> StaticBlock:
         """The static block behind a record."""
@@ -61,6 +154,47 @@ class Trace:
 
     def summary(self) -> "TraceSummary":
         return summarize(self)
+
+
+class TraceBuilder:
+    """Bounded-memory streaming emitter appending into trace columns.
+
+    Rows are buffered as plain tuples (one append per record — the cheap
+    operation) and transposed into the ``array`` columns one chunk at a
+    time, so at most :data:`_EMIT_CHUNK` boxed rows are ever live during
+    generation regardless of trace length.
+    """
+
+    __slots__ = ("_columns", "_buffer")
+
+    def __init__(self) -> None:
+        self._columns = _empty_columns()
+        self._buffer: list[TraceRecord] = []
+
+    def append(self, record: TraceRecord) -> None:
+        """Emit one record row (``REC_*`` order)."""
+        self._buffer.append(record)
+        if len(self._buffer) >= _EMIT_CHUNK:
+            self._flush()
+
+    def extend(self, records) -> None:
+        """Emit many record rows."""
+        for record in records:
+            self.append(record)
+
+    def _flush(self) -> None:
+        buffer = self._buffer
+        for column, getter in zip(self._columns, _FIELD_GETTERS):
+            column.extend(map(getter, buffer))
+        buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._columns[0]) + len(self._buffer)
+
+    def build(self, cfg: ControlFlowGraph, seed: int, n_instrs: int = 0) -> Trace:
+        """Finalize into an immutable-by-convention :class:`Trace`."""
+        self._flush()
+        return Trace(cfg=cfg, columns=self._columns, seed=seed, n_instrs=n_instrs)
 
 
 @dataclass(frozen=True)
@@ -81,23 +215,33 @@ class TraceSummary:
 
 
 def summarize(trace: Trace) -> TraceSummary:
-    """Compute :class:`TraceSummary` for ``trace``."""
+    """Compute :class:`TraceSummary` for ``trace``.
+
+    Columnar aggregation: whole-column passes (``sum``, ``array.count``,
+    ``set``) replace the per-record Python loop wherever a field is
+    consumed independently.
+    """
+    col_start = trace.columns[REC_START]
+    col_ninstr = trace.columns[REC_NINSTR]
+    col_kind = trace.columns[REC_KIND]
+    col_taken = trace.columns[REC_TAKEN]
+
     kind_counts: dict[int, int] = {}
-    taken = 0
-    cond = 0
-    cond_taken = 0
-    unique_bbs: set[int] = set()
+    for kind in BranchKind:
+        count = col_kind.count(int(kind))
+        if count:
+            kind_counts[int(kind)] = count
+    taken = col_taken.count(1)  # the column is 0/1 by construction
+    cond_kind = int(BranchKind.COND)
+    cond = kind_counts.get(cond_kind, 0)
+    cond_taken = sum(
+        t for k, t in zip(col_kind, col_taken) if k == cond_kind
+    )
+    unique_bbs = set(col_start)
     unique_blocks: set[int] = set()
-    for rec in trace.records:
-        kind = rec[REC_KIND]
-        kind_counts[kind] = kind_counts.get(kind, 0) + 1
-        taken += rec[REC_TAKEN]
-        if kind == BranchKind.COND:
-            cond += 1
-            cond_taken += rec[REC_TAKEN]
-        unique_bbs.add(rec[REC_START])
-        unique_blocks.update(blocks_spanned(rec[REC_START], rec[REC_NINSTR]))
-    n = len(trace.records)
+    for start, n_instr in zip(col_start, col_ninstr):
+        unique_blocks.update(blocks_spanned(start, n_instr))
+    n = len(trace)
     return TraceSummary(
         n_records=n,
         n_instrs=trace.n_instrs,
@@ -126,6 +270,54 @@ def _draw_trips(rng: random.Random, mean: float) -> int:
     return max(1, min(trips, int(3 * mean)))
 
 
+#: Precompiled per-block walk row:
+#: (kind, n_instrs, target, fallthrough, bias, loop_mean, corr_src,
+#:  corr_invert, indirect_target_pcs, indirect_weights).
+_WalkInfo = tuple
+
+#: Pulls the walk-relevant StaticBlock fields out of an instance ``__dict__``
+#: in one C call (``fallthrough`` is a property, so it is derived below).
+_WALK_FIELDS = itemgetter(
+    "kind", "n_instrs", "target", "bias", "loop_mean",
+    "corr_src", "corr_invert", "indirect_targets",
+)
+
+_NO_TARGETS: tuple[list, list] = ([], [])
+
+
+def _compile_walk_info(cfg: ControlFlowGraph) -> dict[int, _WalkInfo]:
+    """Flatten every StaticBlock into a plain tuple for the walk loop.
+
+    Frozen-dataclass attribute reads cost an attribute-protocol round trip
+    each; the walker touches several per record, so one upfront O(blocks)
+    pass — one ``itemgetter`` call per block straight off the instance
+    dict — pays for itself within the first few thousand records. Indirect
+    target pools (rare) are pre-split into parallel (targets, weights)
+    lists so each draw skips two list comprehensions.
+    """
+    info: dict[int, _WalkInfo] = {}
+    for pc, blk in cfg.blocks.items():
+        (kind, n_instrs, target, bias, loop_mean,
+         corr_src, corr_invert, ind) = _WALK_FIELDS(blk.__dict__)
+        if ind:
+            targets_weights = ([t for t, _ in ind], [w for _, w in ind])
+        else:
+            targets_weights = _NO_TARGETS
+        info[pc] = (
+            int(kind),
+            n_instrs,
+            target,
+            pc + n_instrs * INSTR_BYTES,  # == StaticBlock.fallthrough
+            bias,
+            loop_mean,
+            corr_src,
+            corr_invert,
+            targets_weights[0],
+            targets_weights[1],
+        )
+    return info
+
+
 def generate_trace(
     cfg: ControlFlowGraph,
     n_instrs: int,
@@ -133,16 +325,23 @@ def generate_trace(
 ) -> Trace:
     """Walk ``cfg`` from its entry until ``n_instrs`` instructions execute.
 
-    The walk is deterministic for a given ``(cfg, n_instrs, seed)``. The
-    trace always ends on a basic-block boundary, so the final instruction
-    count can exceed ``n_instrs`` by at most one block.
+    The walk is deterministic for a given ``(cfg, n_instrs, seed)`` — and
+    the PRNG draw sequence is pinned by the golden summary/engine fixtures,
+    so representation changes here must never reorder draws. The trace
+    always ends on a basic-block boundary, so the final instruction count
+    can exceed ``n_instrs`` by at most one block.
     """
     if n_instrs <= 0:
         raise WorkloadError("trace length must be positive")
     rng = random.Random(seed)
-    blocks = cfg.blocks
-    records: list[TraceRecord] = []
-    append = records.append
+    rnd = rng.random
+    choices = rng.choices
+    info = _compile_walk_info(cfg)
+
+    builder = TraceBuilder()
+    buffer = builder._buffer
+    append = buffer.append
+    flush = builder._flush
 
     stack: list[int] = []
     loop_remaining: dict[int, int] = {}
@@ -150,23 +349,34 @@ def generate_trace(
     sticky_target: dict[int, int] = {}
     last_outcome: dict[int, int] = {}
 
+    COND = int(BranchKind.COND)
+    JUMP = int(BranchKind.JUMP)
+    CALL = int(BranchKind.CALL)
+    RET = int(BranchKind.RET)
+    IND_JUMP = int(BranchKind.IND_JUMP)
+    IND_CALL = int(BranchKind.IND_CALL)
+    SEQUENTIAL = int(EntryKind.SEQUENTIAL)
+    CONDITIONAL = int(EntryKind.CONDITIONAL)
+    UNCONDITIONAL = int(EntryKind.UNCONDITIONAL)
+
     pc = cfg.entry
     executed = 0
-    entry_kind = int(EntryKind.SEQUENTIAL)
+    entry_kind = SEQUENTIAL
 
     while executed < n_instrs:
-        blk = blocks.get(pc)
+        blk = info.get(pc)
         if blk is None:
             raise WorkloadError(f"walker reached non-block address {pc:#x}")
-        kind = blk.kind
+        (kind, blk_instrs, target, fallthrough, bias, loop_mean,
+         corr_src, corr_invert, ind_targets, ind_weights) = blk
         taken = 1
-        if kind == BranchKind.COND:
-            if blk.loop_mean > 0:
+        if kind == COND:
+            if loop_mean > 0:
                 remaining = loop_remaining.get(pc)
                 if remaining is None:
                     remaining = loop_trips.get(pc)
                     if remaining is None:
-                        remaining = _draw_trips(rng, blk.loop_mean)
+                        remaining = _draw_trips(rng, loop_mean)
                         loop_trips[pc] = remaining
                 if remaining > 0:
                     taken = 1
@@ -174,59 +384,50 @@ def generate_trace(
                 else:
                     taken = 0
                     loop_remaining.pop(pc, None)
-            elif blk.corr_src:
-                src_out = last_outcome.get(blk.corr_src)
+            elif corr_src:
+                src_out = last_outcome.get(corr_src)
                 if src_out is None:
-                    taken = 1 if rng.random() < 0.5 else 0
+                    taken = 1 if rnd() < 0.5 else 0
                 else:
-                    taken = src_out ^ 1 if blk.corr_invert else src_out
+                    taken = src_out ^ 1 if corr_invert else src_out
             else:
-                taken = 1 if rng.random() < blk.bias else 0
+                taken = 1 if rnd() < bias else 0
             last_outcome[pc] = taken
-            next_pc = blk.target if taken else blk.fallthrough
-        elif kind == BranchKind.JUMP:
-            next_pc = blk.target
-        elif kind == BranchKind.CALL:
-            next_pc = blk.target
+            next_pc = target if taken else fallthrough
+        elif kind == JUMP:
+            next_pc = target
+        elif kind == CALL:
+            next_pc = target
             if len(stack) < _MAX_CALL_DEPTH:
-                stack.append(blk.fallthrough)
-        elif kind == BranchKind.IND_CALL:
-            next_pc = _choose_indirect(rng, blk, sticky_target)
-            if len(stack) < _MAX_CALL_DEPTH:
-                stack.append(blk.fallthrough)
-        elif kind == BranchKind.IND_JUMP:
-            next_pc = _choose_indirect(rng, blk, sticky_target)
-        elif kind == BranchKind.RET:
+                stack.append(fallthrough)
+        elif kind == IND_CALL or kind == IND_JUMP:
+            previous = sticky_target.get(pc)
+            if previous is not None and rnd() < _INDIRECT_STICKINESS:
+                next_pc = previous
+            else:
+                next_pc = choices(ind_targets, weights=ind_weights, k=1)[0]
+                sticky_target[pc] = next_pc
+            if kind == IND_CALL and len(stack) < _MAX_CALL_DEPTH:
+                stack.append(fallthrough)
+        elif kind == RET:
             next_pc = stack.pop() if stack else cfg.entry
         else:  # pragma: no cover - exhaustive over BranchKind
             raise WorkloadError(f"unhandled branch kind {kind}")
 
-        append((pc, blk.n_instrs, int(kind), taken, next_pc, entry_kind))
-        executed += blk.n_instrs
+        append((pc, blk_instrs, kind, taken, next_pc, entry_kind))
+        if len(buffer) >= _EMIT_CHUNK:
+            flush()
+        executed += blk_instrs
 
         if not taken:
-            entry_kind = int(EntryKind.SEQUENTIAL)
-        elif kind == BranchKind.COND:
-            entry_kind = int(EntryKind.CONDITIONAL)
+            entry_kind = SEQUENTIAL
+        elif kind == COND:
+            entry_kind = CONDITIONAL
         else:
-            entry_kind = int(EntryKind.UNCONDITIONAL)
+            entry_kind = UNCONDITIONAL
         pc = next_pc
 
-    return Trace(cfg=cfg, records=records, seed=seed, n_instrs=executed)
-
-
-def _choose_indirect(
-    rng: random.Random, blk: StaticBlock, sticky: dict[int, int]
-) -> int:
-    """Sticky weighted choice among an indirect branch's targets."""
-    previous = sticky.get(blk.start)
-    if previous is not None and rng.random() < _INDIRECT_STICKINESS:
-        return previous
-    targets = [t for t, _ in blk.indirect_targets]
-    weights = [w for _, w in blk.indirect_targets]
-    choice = rng.choices(targets, weights=weights, k=1)[0]
-    sticky[blk.start] = choice
-    return choice
+    return builder.build(cfg, seed, n_instrs=executed)
 
 
 def taken_conditional_distances(trace: Trace) -> dict[int, int]:
@@ -238,10 +439,15 @@ def taken_conditional_distances(trace: Trace) -> dict[int, int]:
     """
     histogram: dict[int, int] = {}
     blocks = trace.cfg.blocks
-    for rec in trace.records:
-        if rec[REC_KIND] != BranchKind.COND or not rec[REC_TAKEN]:
+    cond_kind = int(BranchKind.COND)
+    starts = trace.columns[REC_START]
+    kinds = trace.columns[REC_KIND]
+    takens = trace.columns[REC_TAKEN]
+    nexts = trace.columns[REC_NEXT]
+    for start, kind, taken, next_pc in zip(starts, kinds, takens, nexts):
+        if kind != cond_kind or not taken:
             continue
-        branch_pc = blocks[rec[REC_START]].branch_pc
-        distance = abs(block_of(rec[REC_NEXT]) - block_of(branch_pc))
+        branch_pc = blocks[start].branch_pc
+        distance = abs(block_of(next_pc) - block_of(branch_pc))
         histogram[distance] = histogram.get(distance, 0) + 1
     return histogram

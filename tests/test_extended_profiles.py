@@ -1,0 +1,120 @@
+"""The four extended scenario profiles: structure, selector, and smoke.
+
+The acceptance bar for new profiles is that they build valid CFGs, hit
+their intended control-flow stressors, and simulate cleanly under *every*
+mechanism at the quick experiment scale — the same scale the golden
+engine harness runs at.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import MECHANISMS
+from repro.core.simulator import Simulator
+from repro.core.mechanisms import make_config
+from repro.errors import ConfigError
+from repro.workloads import (
+    ALL_PROFILES,
+    EXTENDED_PROFILES,
+    PROFILE_SETS,
+    BranchKind,
+    build_cfg,
+    get_profile,
+    load_workload,
+    profile_names,
+    workload_set,
+)
+
+QUICK_SCALE = 0.25
+
+EXTENDED_NAMES = ("microrpc", "interp", "mlserve", "compilerpass")
+
+
+class TestRegistries:
+    def test_paper_set_unchanged(self):
+        assert tuple(p.name for p in ALL_PROFILES) == (
+            "nutch", "streaming", "apache", "zeus", "oracle", "db2",
+        )
+
+    def test_extended_set(self):
+        assert tuple(p.name for p in EXTENDED_PROFILES) == EXTENDED_NAMES
+
+    def test_sets_are_disjoint_and_all_is_their_union(self):
+        paper = {p.name for p in PROFILE_SETS["paper"]}
+        extended = {p.name for p in PROFILE_SETS["extended"]}
+        assert not paper & extended
+        assert {p.name for p in PROFILE_SETS["all"]} == paper | extended
+
+    def test_selector_defaults_to_paper(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKLOAD_SET", raising=False)
+        assert workload_set() == ALL_PROFILES
+        assert profile_names() == tuple(p.name for p in ALL_PROFILES)
+
+    def test_selector_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOAD_SET", "extended")
+        assert workload_set() == EXTENDED_PROFILES
+
+    def test_selector_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            workload_set("bogus")
+
+    @pytest.mark.parametrize("name", EXTENDED_NAMES)
+    def test_lookup_by_name(self, name):
+        assert get_profile(name).name == name
+
+    def test_unique_seeds_across_all_profiles(self):
+        seeds = [p.seed for p in PROFILE_SETS["all"]]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestIntendedStressors:
+    """Each scenario must actually exhibit the behaviour it models."""
+
+    def test_microrpc_call_chains_deepest(self):
+        assert get_profile("microrpc").layers > max(p.layers for p in ALL_PROFILES)
+
+    def test_interp_indirect_jump_density(self):
+        cfg = build_cfg(get_profile("interp").scaled(QUICK_SCALE))
+        kinds = [b.kind for b in cfg.blocks.values()]
+        ind_jumps = sum(1 for k in kinds if k == BranchKind.IND_JUMP)
+        jumps = sum(1 for k in kinds if k == BranchKind.JUMP)
+        # ~30% of eligible jumps convert; direct jumps near function tails
+        # cannot, so assert a healthy floor well above the stock 10%.
+        assert ind_jumps / max(1, ind_jumps + jumps) > 0.15
+        widest = max(
+            (len(b.indirect_targets) for b in cfg.blocks.values()), default=0
+        )
+        assert widest >= 6
+
+    def test_mlserve_straight_line_fetch(self):
+        wl = load_workload("mlserve", scale=QUICK_SCALE)
+        summary = wl.trace.summary()
+        assert summary.avg_bb_instrs > 2 * max(
+            load_workload(name, scale=QUICK_SCALE).trace.summary().avg_bb_instrs
+            for name in ("oracle", "db2")
+        )
+
+    def test_compilerpass_largest_branch_footprint(self):
+        compiler = build_cfg(get_profile("compilerpass").scaled(QUICK_SCALE))
+        db2 = build_cfg(get_profile("db2").scaled(QUICK_SCALE))
+        assert compiler.n_static_branches > db2.n_static_branches
+
+
+class TestQuickScaleSmoke:
+    """Every mechanism must simulate every new profile cleanly."""
+
+    @pytest.fixture(scope="class", params=EXTENDED_NAMES)
+    def workload(self, request):
+        return load_workload(request.param, scale=QUICK_SCALE)
+
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_simulates_cleanly(self, workload, mechanism):
+        result = Simulator(workload, make_config(mechanism)).run()
+        raw = result.raw
+        assert raw["retired_instrs"] > 0
+        assert raw["cycles"] > 0
+        assert 0.0 < result.ipc <= 4.0
+        assert all(math.isfinite(v) for v in raw.values())

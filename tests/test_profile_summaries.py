@@ -1,0 +1,60 @@
+"""Golden TraceSummary regression fixtures for every workload profile.
+
+``tests/data/golden_summaries.json`` pins the full calibration summary
+(taken rate, conditional fraction, footprint, kind mix, ...) of all ten
+profiles — paper six plus extended four — at the quick experiment scale.
+The workload pipeline is deterministic end to end, so any drift in the
+builder, the walker's PRNG draw sequence, or the columnar representation
+fails here exactly (floats included: the arithmetic is IEEE-deterministic
+and JSON round-trips doubles losslessly).
+
+Regenerate after an *intentional* workload-semantics change with::
+
+    python - <<'EOF'
+    import json, dataclasses
+    from repro.workloads import load_workload, workload_set
+    out = {"workload_scale": 0.25, "summaries": {}}
+    for profile in workload_set("all"):
+        s = load_workload(profile.name, scale=0.25).trace.summary()
+        d = dataclasses.asdict(s)
+        d["kind_counts"] = {str(k): v for k, v in d["kind_counts"].items()}
+        out["summaries"][profile.name] = d
+    with open("tests/data/golden_summaries.json", "w") as fh:
+        json.dump(out, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    EOF
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.workloads import load_workload, workload_set
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_summaries.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+ALL_TEN = tuple(p.name for p in workload_set("all"))
+
+
+def test_fixture_covers_every_profile(golden):
+    assert sorted(golden["summaries"]) == sorted(ALL_TEN)
+
+
+@pytest.mark.parametrize("name", ALL_TEN)
+def test_summary_pinned(golden, name):
+    workload = load_workload(name, scale=golden["workload_scale"])
+    summary = dataclasses.asdict(workload.trace.summary())
+    summary["kind_counts"] = {str(k): v for k, v in summary["kind_counts"].items()}
+    want = golden["summaries"][name]
+    assert summary == want, f"{name} trace summary diverged from golden fixture"

@@ -1,22 +1,32 @@
-"""Tests for the dynamic trace walker."""
+"""Tests for the dynamic trace walker and its columnar representation."""
+
+import json
+import pathlib
+from array import array
 
 import pytest
+
+from tuple_baseline import tuple_walk
 
 from repro.errors import WorkloadError
 from repro.workloads.builder import build_cfg
 from repro.workloads.isa import BranchKind, EntryKind
-from repro.workloads.profiles import APACHE, STREAMING
+from repro.workloads.profiles import APACHE, STREAMING, get_profile
 from repro.workloads.trace import (
+    COLUMN_SPECS,
     REC_ENTRY,
     REC_KIND,
     REC_NEXT,
     REC_NINSTR,
     REC_START,
     REC_TAKEN,
+    TraceBuilder,
+    TraceRecordView,
     generate_trace,
     summarize,
     taken_conditional_distances,
 )
+from repro.workloads.tracestore import trace_seed
 
 
 @pytest.fixture(scope="module")
@@ -163,6 +173,100 @@ class TestSummary:
     def test_avg_bb_consistent(self, trace):
         s = summarize(trace)
         assert s.avg_bb_instrs == pytest.approx(trace.n_instrs / len(trace.records))
+
+
+class TestColumnarRepresentation:
+    def test_columns_match_specs(self, trace):
+        assert len(trace.columns) == len(COLUMN_SPECS)
+        for column, (_, typecode) in zip(trace.columns, COLUMN_SPECS):
+            assert isinstance(column, array)
+            assert column.typecode == typecode
+            assert len(column) == len(trace)
+
+    def test_view_indexing_materializes_tuples(self, trace):
+        rec = trace.records[0]
+        assert isinstance(rec, tuple) and len(rec) == len(COLUMN_SPECS)
+        assert rec[REC_START] == trace.columns[REC_START][0]
+        assert trace.records[-1][REC_NEXT] == trace.columns[REC_NEXT][-1]
+
+    def test_view_slicing_returns_tuple_list(self, trace):
+        head = trace.records[:10]
+        assert isinstance(head, list) and len(head) == 10
+        assert head == [trace.records[i] for i in range(10)]
+        assert trace.records[5:8] == head[5:8]
+
+    def test_view_iteration_matches_indexing(self, trace):
+        for i, rec in enumerate(trace.records):
+            assert tuple(rec) == trace.records[i]
+            if i >= 100:
+                break
+
+    def test_view_equality_is_column_equality(self, cfg, trace):
+        again = generate_trace(cfg, 40_000, seed=7)
+        assert again.records == trace.records
+        assert not (again.records != trace.records)
+        assert trace.records == list(trace.records)
+        assert trace.records != list(trace.records)[:-1]
+
+    def test_len_and_iter_on_trace(self, trace):
+        assert len(trace) == len(trace.records)
+        first = next(iter(trace))
+        assert tuple(first) == trace.records[0]
+
+    def test_column_accessor(self, trace):
+        assert trace.column(REC_KIND) is trace.columns[REC_KIND]
+
+    def test_rejects_ragged_columns(self, cfg):
+        from repro.workloads.trace import Trace
+
+        columns = tuple(array(tc) for _, tc in COLUMN_SPECS)
+        columns[REC_START].append(cfg.entry)
+        with pytest.raises(WorkloadError):
+            Trace(cfg=cfg, columns=columns, seed=1)
+
+
+class TestTraceBuilder:
+    def test_chunk_buffer_stays_bounded(self, cfg):
+        from repro.workloads.trace import _EMIT_CHUNK
+
+        builder = TraceBuilder()
+        rec = (cfg.entry, 4, 0, 1, cfg.entry, 0)
+        for i in range(_EMIT_CHUNK * 2 + 17):
+            builder.append(rec)
+            assert len(builder._buffer) < _EMIT_CHUNK
+        assert len(builder) == _EMIT_CHUNK * 2 + 17
+
+    def test_build_flushes_the_tail(self, cfg):
+        builder = TraceBuilder()
+        builder.extend([(cfg.entry, 2, 1, 1, cfg.entry, 0)] * 3)
+        trace = builder.build(cfg, seed=5)
+        assert len(trace) == 3
+        assert trace.n_instrs == 6  # derived from the ninstr column
+        assert trace.seed == 5
+
+
+class TestColumnarTupleEquivalence:
+    """The columnar walker is bit-identical to the tuple-list baseline over
+    the golden_quick matrix's workloads (same scale the 8-mechanism golden
+    engine harness in test_stages.py runs on)."""
+
+    @pytest.fixture(scope="class")
+    def golden_scale(self):
+        path = pathlib.Path(__file__).parent / "data" / "golden_quick.json"
+        with open(path) as fh:
+            return json.load(fh)["workload_scale"]
+
+    @pytest.mark.parametrize(
+        "name", ["nutch", "streaming", "apache", "zeus", "oracle", "db2"]
+    )
+    def test_bit_identical_records(self, golden_scale, name):
+        profile = get_profile(name).scaled(golden_scale)
+        cfg = build_cfg(profile)
+        seed = trace_seed(profile)
+        want, executed = tuple_walk(cfg, profile.default_trace_instrs, seed)
+        trace = generate_trace(cfg, profile.default_trace_instrs, seed=seed)
+        assert trace.n_instrs == executed
+        assert trace.records == want, f"{name}: columnar walk diverged"
 
 
 class TestDistanceHistogram:

@@ -1,0 +1,228 @@
+"""Tests for the persistent content-addressed workload store."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.workloads import (
+    TRACE_SCHEMA_TAG,
+    TraceStore,
+    clear_workload_cache,
+    configure_trace_store,
+    get_profile,
+    get_trace_store,
+    load_workload,
+    profile_digest,
+    prune_trace_store,
+    reset_trace_store,
+    scan_trace_store,
+)
+from repro.workloads.builder import build_cfg
+from repro.workloads.trace import generate_trace
+from repro.workloads.tracestore import trace_seed
+
+SCALE = 0.05
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    """Point the process trace store at a temp dir; restore env resolution."""
+    clear_workload_cache()
+    configure_trace_store(tmp_path)
+    yield tmp_path
+    reset_trace_store()
+    clear_workload_cache()
+
+
+@pytest.fixture(scope="module")
+def small_profile():
+    return get_profile("apache").scaled(SCALE)
+
+
+@pytest.fixture(scope="module")
+def small_build(small_profile):
+    cfg = build_cfg(small_profile)
+    length = small_profile.default_trace_instrs
+    trace = generate_trace(cfg, length, seed=trace_seed(small_profile))
+    return small_profile, length, cfg, trace
+
+
+class TestProfileDigest:
+    def test_content_not_name(self, small_profile):
+        same_name = replace(small_profile, avg_bb_instrs=9.0)
+        assert same_name.name == small_profile.name
+        assert profile_digest(same_name) != profile_digest(small_profile)
+
+    def test_every_field_contributes(self, small_profile):
+        tweaked = replace(small_profile, warmup_frac=0.31)
+        assert profile_digest(tweaked) != profile_digest(small_profile)
+
+    def test_deterministic(self, small_profile):
+        copy = replace(small_profile)
+        assert profile_digest(copy) == profile_digest(small_profile)
+
+
+class TestStoreRoundTrip:
+    def test_get_returns_bit_identical_build(self, tmp_path, small_build):
+        profile, length, cfg, trace = small_build
+        store = TraceStore(tmp_path)
+        assert store.get(profile, length) is None  # cold
+        store.put(profile, length, cfg, trace)
+        loaded = store.get(profile, length)
+        assert loaded is not None
+        cfg2, trace2 = loaded
+        assert trace2.records == trace.records
+        assert trace2.n_instrs == trace.n_instrs
+        assert trace2.seed == trace.seed
+        assert cfg2.blocks == cfg.blocks
+        assert cfg2.entry == cfg.entry
+        assert cfg2.functions == cfg.functions
+        assert store.misses == 1 and store.hits == 1 and store.stores == 1
+
+    def test_other_length_is_a_miss(self, tmp_path, small_build):
+        profile, length, cfg, trace = small_build
+        store = TraceStore(tmp_path)
+        store.put(profile, length, cfg, trace)
+        assert store.get(profile, length + 1) is None
+
+    def test_other_profile_content_is_a_miss(self, tmp_path, small_build):
+        profile, length, cfg, trace = small_build
+        store = TraceStore(tmp_path)
+        store.put(profile, length, cfg, trace)
+        assert store.get(replace(profile, seed=999), length) is None
+
+    @pytest.mark.parametrize(
+        "corruption",
+        ["truncate", "garbage", "bad_magic"],
+        ids=str,
+    )
+    def test_corrupt_record_is_a_miss(self, tmp_path, small_build, corruption):
+        profile, length, cfg, trace = small_build
+        store = TraceStore(tmp_path)
+        store.put(profile, length, cfg, trace)
+        (record,) = store.root.glob("*.wkld")
+        blob = record.read_bytes()
+        if corruption == "truncate":
+            record.write_bytes(blob[: len(blob) // 2])
+        elif corruption == "garbage":
+            record.write_bytes(b"\x00" * 128)
+        else:
+            record.write_bytes(b"XWKLD1\n" + blob[7:])
+        assert store.get(profile, length) is None
+
+
+class TestLoadWorkloadIntegration:
+    def test_cold_build_populates_warm_load_hits(self, store_dir):
+        first = load_workload("streaming", scale=SCALE)
+        store = get_trace_store()
+        assert store.stores == 1 and store.hits == 0
+        clear_workload_cache()  # drop the memo: next load must come off disk
+        second = load_workload("streaming", scale=SCALE)
+        assert store.hits == 1
+        assert second.trace.records == first.trace.records
+        assert second.cfg.blocks == first.cfg.blocks
+
+    def test_memo_keyed_by_content_not_name(self, store_dir):
+        """Regression: a caller profile sharing a stock name must never be
+        served the stock build (the old ``(name, scale, length)`` memo did
+        exactly that)."""
+        stock = get_profile("apache").scaled(SCALE)
+        custom = replace(stock, avg_bb_instrs=9.0, loop_frac=0.2)
+        stock_wl = load_workload(stock)
+        custom_wl = load_workload(custom)
+        assert stock_wl is not custom_wl
+        assert custom_wl.trace.records != stock_wl.trace.records
+        # And the memo returns each its own build, in either order.
+        assert load_workload(custom) is custom_wl
+        assert load_workload(stock) is stock_wl
+
+    def test_disabled_without_configuration(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_STORE", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        reset_trace_store()
+        assert get_trace_store() is None
+
+    def test_env_resolution(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        reset_trace_store()
+        store = get_trace_store()
+        assert store is not None and store.root.parent == tmp_path
+        reset_trace_store()
+
+    def test_explicit_configure_beats_env(self, tmp_path, monkeypatch):
+        """configure_trace_store overrides the environment, and the
+        effective directory is exposed so the pool runner can re-export it
+        to spawn-started workers."""
+        from repro.workloads.workload import trace_store_dir
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        configure_trace_store(tmp_path / "explicit")
+        try:
+            assert trace_store_dir() == str(tmp_path / "explicit")
+            assert get_trace_store().root.parent == tmp_path / "explicit"
+        finally:
+            reset_trace_store()
+        assert trace_store_dir() == str(tmp_path / "env")
+
+    def test_empty_env_var_means_explicitly_disabled(self, tmp_path, monkeypatch):
+        """REPRO_TRACE_STORE='' (the pool runner's export of an explicit
+        disable) must not fall back to REPRO_CACHE_DIR."""
+        from repro.workloads.workload import trace_store_dir
+
+        monkeypatch.setenv("REPRO_TRACE_STORE", "")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        reset_trace_store()
+        assert trace_store_dir() is None
+        assert get_trace_store() is None
+
+    def test_env_value_export_tristate(self, tmp_path):
+        from repro.workloads.workload import trace_store_env_value
+
+        try:
+            assert trace_store_env_value() is None  # env-driven: no export
+            configure_trace_store(tmp_path)
+            assert trace_store_env_value() == str(tmp_path)
+            configure_trace_store(None)
+            assert trace_store_env_value() == ""  # explicit disable
+        finally:
+            reset_trace_store()
+
+
+class TestLifecycle:
+    def test_scan_counts_current_tag(self, store_dir):
+        load_workload("zeus", scale=SCALE)
+        infos = scan_trace_store(store_dir)
+        assert [i.tag for i in infos] == [TRACE_SCHEMA_TAG]
+        assert infos[0].current and infos[0].records == 1
+        assert infos[0].size_bytes > 0
+
+    def test_scan_ignores_foreign_directories(self, store_dir):
+        (store_dir / "engine-v1-0123456789ab").mkdir()  # result-cache tag
+        (store_dir / "random-stuff").mkdir()
+        load_workload("zeus", scale=SCALE)
+        assert [i.tag for i in scan_trace_store(store_dir)] == [TRACE_SCHEMA_TAG]
+
+    def test_prune_removes_stale_keeps_current(self, store_dir):
+        load_workload("zeus", scale=SCALE)
+        stale = store_dir / "trace-v0-000000000000"
+        stale.mkdir()
+        (stale / "old.wkld").write_bytes(b"x")
+        removed = prune_trace_store(store_dir)
+        assert [i.tag for i in removed] == ["trace-v0-000000000000"]
+        assert not stale.exists()
+        assert (store_dir / TRACE_SCHEMA_TAG).exists()
+
+    def test_prune_dry_run_deletes_nothing(self, store_dir):
+        stale = store_dir / "trace-v0-000000000000"
+        stale.mkdir()
+        removed = prune_trace_store(store_dir, dry_run=True)
+        assert [i.tag for i in removed] == ["trace-v0-000000000000"]
+        assert stale.exists()
+
+    def test_prune_specific_tag_can_force_cold(self, store_dir):
+        load_workload("zeus", scale=SCALE)
+        removed = prune_trace_store(store_dir, schema_tag=TRACE_SCHEMA_TAG)
+        assert [i.tag for i in removed] == [TRACE_SCHEMA_TAG]
+        assert scan_trace_store(store_dir) == []
