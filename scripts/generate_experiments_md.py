@@ -18,6 +18,8 @@ import time
 from repro.experiments import EXPERIMENTS
 
 #: Paper-reported numbers / claims per exhibit, used in the write-up.
+#: Shared with scripts/generate_docs_tables.py, which renders the same
+#: claims into docs/experiments.md (drift-checked in CI) — edit here.
 PAPER_CLAIMS = {
     "figure1": "Perfect L1-I: +11-47% speedup; perfect BTB adds another 6-40%. "
                "OLTP (DB2) shows the largest BTB opportunity; Streaming the smallest overall.",

@@ -23,6 +23,10 @@ class SimulationError(ReproError):
     """Raised when the simulation engine reaches an impossible state."""
 
 
+class BrokerError(ReproError):
+    """Raised when the distributed job broker cannot complete a batch."""
+
+
 class UnknownMechanismError(ConfigError):
     """Raised when a mechanism name is not in the registry."""
 

@@ -19,6 +19,7 @@ from . import (
     squashes,
     stall_coverage,
     storage_costs,
+    sweeps,
     throttle_sweep,
 )
 from .common import (
@@ -33,6 +34,7 @@ from .common import (
     precompute,
     run_cached,
 )
+from .sweeps import SWEEPS, SweepSpec, get_sweep
 
 #: Exhibit id -> experiment module, in paper order.
 EXPERIMENTS = {
@@ -61,6 +63,9 @@ __all__ = [
     "ExperimentResult",
     "ExperimentScale",
     "SCALES",
+    "SWEEPS",
+    "SweepSpec",
+    "get_sweep",
     "workload_names",
     "baseline_config",
     "baseline_for",

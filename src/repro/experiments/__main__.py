@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.experiments [quick|default|full] [exhibit ...]
-                                [--jobs N] [--cache-dir PATH]
+                                [--jobs N] [--cache-dir PATH] [--backend NAME]
 
 Options:
 
@@ -20,8 +20,17 @@ Options:
     A warm rerun against a populated cache skips simulation entirely.
     Defaults to ``$REPRO_CACHE_DIR`` (else no disk cache).
 
+``--backend NAME``
+    Executor backend for uncached runs: ``serial``, ``pool``, ``broker``
+    or ``auto`` (default; picks ``pool`` when jobs > 1). ``broker``
+    fans jobs out through the file-based queue under the cache dir —
+    start stealers with ``python -m repro.runtime worker`` (any number,
+    any machine sharing the filesystem; see ``docs/runtime.md``).
+    Defaults to ``$REPRO_BACKEND``. Results are bit-identical across
+    backends.
+
 The positional scale (or ``$REPRO_SCALE``) only chooses how big a grid each
-exhibit assembles; it composes freely with both flags — each scale's runs
+exhibit assembles; it composes freely with the flags — each scale's runs
 are distinct cache entries.
 """
 
@@ -30,7 +39,8 @@ from __future__ import annotations
 import sys
 import time
 
-from ..runtime import configure_runtime, get_runtime
+from ..errors import ConfigError
+from ..runtime import backend_summary, configure_runtime, get_runtime
 from . import EXPERIMENTS
 from .common import SCALES
 
@@ -59,6 +69,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         jobs_arg = _parse_flag(args, "--jobs")
         cache_dir = _parse_flag(args, "--cache-dir")
+        backend = _parse_flag(args, "--backend")
         jobs = int(jobs_arg) if jobs_arg is not None else None
     except ValueError:
         print("--jobs expects an integer", file=sys.stderr)
@@ -66,8 +77,12 @@ def main(argv: list[str] | None = None) -> int:
     if jobs is not None and jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
-    if jobs is not None or cache_dir is not None:
-        configure_runtime(jobs=jobs, cache_dir=cache_dir)
+    if jobs is not None or cache_dir is not None or backend is not None:
+        try:
+            configure_runtime(jobs=jobs, cache_dir=cache_dir, backend=backend)
+        except ConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     scale = None
     if args and args[0] in SCALES:
         scale = args.pop(0)
@@ -88,7 +103,8 @@ def main(argv: list[str] | None = None) -> int:
     if runtime.disk is not None:
         print(
             f"[cache: {runtime.disk.hits} disk hits, "
-            f"{runtime.executed} simulated, jobs={runtime.jobs}]"
+            f"{runtime.executed} simulated, jobs={runtime.jobs}, "
+            f"{backend_summary(runtime)}]"
         )
     return 0
 

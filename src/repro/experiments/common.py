@@ -20,14 +20,19 @@ Execution and caching are owned by :mod:`repro.runtime`:
   result is stored as a JSON record under a schema-version tag
   (``repro.runtime.cache.SCHEMA_TAG``); warm reruns skip simulation
   entirely. Bumping the tag orphans stale records rather than reusing them.
-* **Sweeps run in parallel.** Experiment modules assemble their full
-  (workload, config) job list and call :func:`precompute`; with
-  ``REPRO_JOBS``/``--jobs`` > 1 the misses execute on a process pool.
-  Ordering and values are deterministic — parallel runs are bit-identical
-  to serial ones. ``REPRO_SCALE`` only selects the grid each module
-  assembles; it composes freely with ``--jobs``/``--cache-dir`` (each
-  scale's runs are distinct cache entries, since the workload scale is
-  part of the key).
+* **Sweeps run in parallel — or distributed.** Experiment modules
+  assemble their full (workload, config) job list and call
+  :func:`precompute`; the misses execute on the selected executor
+  backend (``REPRO_BACKEND``/``--backend``): a process pool with
+  ``REPRO_JOBS``/``--jobs`` > 1, or work-stealing broker workers
+  (``python -m repro.runtime worker``) sharing ``REPRO_CACHE_DIR`` —
+  see ``docs/runtime.md``. Ordering and values are deterministic —
+  parallel and distributed runs are bit-identical to serial ones.
+  ``REPRO_SCALE`` only selects the grid each module assembles; it
+  composes freely with the flags (each scale's runs are distinct cache
+  entries, since the workload scale is part of the key). Option
+  precedence (explicit kwargs/flags beat ``REPRO_*`` beat defaults) is
+  asserted in :func:`repro.runtime.resolve_options`.
 """
 
 from __future__ import annotations

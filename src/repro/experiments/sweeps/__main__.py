@@ -1,0 +1,120 @@
+"""CLI for the declarative sweep grids.
+
+Usage::
+
+    python -m repro.experiments.sweeps list [--scale S]
+    python -m repro.experiments.sweeps show <name> [--scale S]
+    python -m repro.experiments.sweeps run  <name> [--scale S]
+        [--workload-set W] [--jobs N] [--cache-dir D] [--backend B]
+        [--no-table]
+
+``run`` executes the named grid through the shared experiment runtime —
+``--jobs``/``--cache-dir``/``--backend`` configure it exactly like
+``python -m repro.experiments`` (explicit flags beat ``REPRO_*``), so a
+sweep fans out over a process pool or the distributed broker the same
+way the figure modules do. The closing summary line reports unique jobs,
+simulations actually executed, disk hits, wall time and the backend's
+telemetry (for the broker: per-worker job counts, queue waits, retries).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ...errors import ConfigError
+from ...runtime import backend_summary, configure_runtime, get_runtime
+from ..common import get_scale
+from . import SWEEPS, _axes_summary, get_sweep
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    print(f"named sweeps (job counts at scale={scale.name}):")
+    for spec in SWEEPS.values():
+        jobs = spec.job_count(scale)
+        exhibit = f" [{spec.exhibit}]" if spec.exhibit else ""
+        print(f"  {spec.name:<22s} {jobs:4d} jobs  {spec.title}{exhibit}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    spec = get_sweep(args.name)
+    scale = get_scale(args.scale)
+    print(f"{spec.name} — {spec.title}")
+    print(f"  {spec.description}")
+    print(f"  mechanisms:   {', '.join(spec.mechanisms)}")
+    print(f"  axes:         {_axes_summary(spec)}")
+    print(f"  workload set: {spec.workload_set or 'default (REPRO_WORKLOAD_SET)'}")
+    print(f"  workloads:    {', '.join(spec.workloads())}")
+    print(f"  baselines:    {'matched per point' if spec.include_baseline else 'none'}")
+    if spec.exhibit:
+        print(f"  re-expresses: {spec.exhibit} (python -m repro.experiments {spec.exhibit})")
+    print(f"  jobs at scale={scale.name}: {spec.job_count(scale)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_sweep(args.name)
+    # Count the grid once, up front — recompiling 100s of configs (and
+    # their SHA digests) after the run just for the summary is waste.
+    unique_jobs = spec.job_count(get_scale(args.scale), args.workload_set)
+    if args.jobs is not None or args.cache_dir is not None or args.backend is not None:
+        configure_runtime(jobs=args.jobs, cache_dir=args.cache_dir, backend=args.backend)
+    started = time.time()
+    result = spec.run(args.scale, args.workload_set)
+    elapsed = time.time() - started
+    if not args.no_table:
+        print(result.to_table())
+    runtime = get_runtime()
+    hits = runtime.disk.hits if runtime.disk is not None else 0
+    print(
+        f"[sweep {spec.name}: {unique_jobs} "
+        f"unique jobs, {runtime.executed} simulated, {hits} disk hits, "
+        f"{elapsed:.1f}s, {backend_summary(runtime)}]"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.sweeps",
+        description="list, inspect and run named declarative sweep grids",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show every named sweep with job counts")
+    p_list.add_argument("--scale", help="scale for job counts (or REPRO_SCALE)")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_show = sub.add_parser("show", help="describe one sweep's grid")
+    p_show.add_argument("name")
+    p_show.add_argument("--scale", help="scale for job counts (or REPRO_SCALE)")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_run = sub.add_parser("run", help="execute a sweep and print its table")
+    p_run.add_argument("name")
+    p_run.add_argument("--scale", help="quick|default|full (or REPRO_SCALE)")
+    p_run.add_argument("--workload-set", help="paper|extended|all (or REPRO_WORKLOAD_SET)")
+    p_run.add_argument("--jobs", type=int, help="process-pool width (or REPRO_JOBS)")
+    p_run.add_argument("--cache-dir", help="persistent result cache (or REPRO_CACHE_DIR)")
+    p_run.add_argument(
+        "--backend",
+        help="serial|pool|broker|auto (or REPRO_BACKEND); broker needs --cache-dir",
+    )
+    p_run.add_argument(
+        "--no-table", action="store_true", help="suppress the per-point table"
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

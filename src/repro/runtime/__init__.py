@@ -1,4 +1,4 @@
-"""Experiment runtime: sound config hashing, disk cache, parallel runner.
+"""Experiment runtime: sound config hashing, disk cache, pluggable executors.
 
 Public surface:
 
@@ -6,32 +6,61 @@ Public surface:
 * :class:`ResultCache` — persistent JSON result store (``SCHEMA_TAG``-versioned),
 * :func:`scan_cache` / :func:`prune_cache` — cache lifecycle (also the
   ``python -m repro.runtime list|prune`` CLI),
-* :class:`SimJob` / :class:`ExperimentRuntime` — batched (parallel) execution,
-* :func:`get_runtime` / :func:`configure_runtime` — process-wide instance.
+* :class:`SimJob` / :class:`ExperimentRuntime` — batched execution,
+* :class:`ExecutorBackend` and the ``serial`` / ``pool`` / ``broker``
+  backends (:data:`BACKEND_NAMES`, selected via ``REPRO_BACKEND``),
+* :class:`BrokerQueue` / :class:`BrokerBackend` / :func:`run_worker` — the
+  file-based distributed job broker (also ``python -m repro.runtime worker``),
+* :func:`get_runtime` / :func:`configure_runtime` / :func:`resolve_options`
+  — process-wide instance and the single option-precedence point.
 """
 
+from .broker import BrokerBackend, BrokerQueue, run_worker
 from .cache import SCHEMA_TAG, CacheTagInfo, ResultCache, prune_cache, scan_cache
 from .confighash import canonicalize, config_digest, scale_token
+from .executors import (
+    BACKEND_NAMES,
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+    resolve_backend_name,
+)
 from .runner import (
     ExperimentRuntime,
+    RuntimeOptions,
     SimJob,
+    backend_summary,
     configure_runtime,
     execute_job,
     get_runtime,
+    resolve_options,
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "SCHEMA_TAG",
+    "BrokerBackend",
+    "BrokerQueue",
     "CacheTagInfo",
+    "ExecutorBackend",
     "ExperimentRuntime",
+    "ProcessPoolBackend",
     "ResultCache",
+    "RuntimeOptions",
+    "SerialBackend",
     "SimJob",
+    "backend_summary",
     "canonicalize",
     "config_digest",
     "configure_runtime",
     "execute_job",
     "get_runtime",
+    "make_backend",
     "prune_cache",
+    "resolve_backend_name",
+    "resolve_options",
+    "run_worker",
     "scale_token",
     "scan_cache",
 ]

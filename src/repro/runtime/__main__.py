@@ -1,9 +1,12 @@
-"""Result-cache lifecycle CLI.
+"""Result-cache lifecycle and distributed-worker CLI.
 
 Usage::
 
-    python -m repro.runtime list  [--cache-dir DIR]
-    python -m repro.runtime prune [--cache-dir DIR] [--schema-tag TAG] [--dry-run]
+    python -m repro.runtime list   [--cache-dir DIR]
+    python -m repro.runtime prune  [--cache-dir DIR] [--schema-tag TAG] [--dry-run]
+    python -m repro.runtime worker [--cache-dir DIR] [--worker-id ID]
+                                   [--drain] [--max-idle SEC] [--max-jobs N]
+    python -m repro.runtime queue  [--cache-dir DIR]
 
 ``list`` shows every schema-tag directory in the on-disk result cache with
 its record count and size, marking the tag the running code would read
@@ -11,6 +14,13 @@ its record count and size, marking the tag the running code would read
 changed since they were written). ``prune`` deletes those stale tags; pass
 ``--schema-tag`` to delete one specific tag instead (including the current
 one, to force cold runs).
+
+``worker`` starts a work-stealing broker worker against the queue under
+``<cache-dir>/queue/`` (see ``docs/runtime.md``): it claims pending jobs
+via atomic rename, executes them, publishes results, and recovers expired
+leases left by crashed peers. ``--drain`` exits once the queue has been
+empty for ``--max-idle`` seconds (default 10). ``queue`` prints the
+per-state job counts of that directory.
 
 The cache directory comes from ``--cache-dir`` or the ``REPRO_CACHE_DIR``
 environment variable — the same resolution the experiment runner uses.
@@ -22,6 +32,7 @@ import argparse
 import os
 import sys
 
+from .broker import BrokerQueue, run_worker
 from .cache import SCHEMA_TAG, prune_cache, scan_cache
 
 
@@ -89,10 +100,35 @@ def _cmd_prune(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    run_worker(
+        cache_dir,
+        worker_id=args.worker_id,
+        drain=args.drain,
+        max_idle=args.max_idle,
+        max_jobs=args.max_jobs,
+    )
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    queue = BrokerQueue(cache_dir)
+    counts = queue.counts()
+    print(f"broker queue at {queue.root}")
+    for state in ("pending", "claimed", "done", "failed"):
+        print(f"  {state:<8s} {counts[state]:6d} job(s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime",
-        description="inspect and prune the on-disk simulation result cache",
+        description=(
+            "inspect and prune the on-disk simulation result cache, or run "
+            "a distributed broker worker"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -110,6 +146,32 @@ def main(argv: list[str] | None = None) -> int:
         "--dry-run", action="store_true", help="report without deleting"
     )
     p_prune.set_defaults(func=_cmd_prune)
+
+    p_worker = sub.add_parser(
+        "worker", help="steal and execute broker jobs from <cache-dir>/queue/"
+    )
+    p_worker.add_argument("--cache-dir", help="cache directory (or REPRO_CACHE_DIR)")
+    p_worker.add_argument(
+        "--worker-id", help="telemetry id (default: <hostname>-<pid>)"
+    )
+    p_worker.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the queue stays empty for --max-idle seconds",
+    )
+    p_worker.add_argument(
+        "--max-idle",
+        type=float,
+        help="exit after this many idle seconds (default with --drain: 10)",
+    )
+    p_worker.add_argument(
+        "--max-jobs", type=int, help="exit after completing this many jobs"
+    )
+    p_worker.set_defaults(func=_cmd_worker)
+
+    p_queue = sub.add_parser("queue", help="show broker queue state counts")
+    p_queue.add_argument("--cache-dir", help="cache directory (or REPRO_CACHE_DIR)")
+    p_queue.set_defaults(func=_cmd_queue)
 
     args = parser.parse_args(argv)
     return args.func(args)

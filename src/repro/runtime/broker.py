@@ -1,0 +1,749 @@
+"""File-based distributed job broker: work stealing over a shared directory.
+
+Any number of worker processes — on one machine or on several machines
+sharing a filesystem — coordinate through a queue that lives entirely
+under ``<cache-dir>/queue/``. There is no server and no network protocol:
+every transition a job can take is a single atomic ``os.rename`` on the
+shared filesystem, so exactly one claimant ever wins a job and a crashed
+worker can never corrupt the queue.
+
+Queue layout::
+
+    <cache-dir>/queue/
+      pending/<job-id>__a<N>.json    # runnable; N = execution attempts so far
+      claimed/<job-id>__a<N>.json    # leased by one worker (mtime = heartbeat)
+      done/<job-id>.json             # result + per-job telemetry record
+      failed/<job-id>.json           # terminal error after the retry cap
+
+Job lifecycle:
+
+1. **Enqueue** — the submitting process writes a spec (workload, scale,
+   full canonicalized config, config digest, engine schema tag) to a temp
+   file and renames it into ``pending/``. The job id is the runtime's
+   cache key (``workload__s<scale>__<digest16>``), so re-submitting an
+   already-done job is a no-op — the done record *is* the answer.
+2. **Claim** — a worker renames ``pending/X`` to ``claimed/X``. The rename
+   either succeeds (the worker owns the job) or raises — two stealers can
+   never both win. While executing, the worker touches the claimed file's
+   mtime every ``lease_seconds / 3`` as a heartbeat.
+3. **Complete** — the worker writes the result + telemetry (worker id,
+   queue wait, run time, attempts) to ``done/`` atomically, mirrors the
+   result into the shared :class:`~repro.runtime.cache.ResultCache`, and
+   removes its claim.
+4. **Crash recovery** — any participant that notices a claimed file whose
+   mtime is older than the lease renames it back to ``pending/`` with the
+   attempt counter bumped (again atomic: exactly one recoverer wins). A
+   job whose attempts reach ``max_attempts`` is moved to ``failed/``
+   instead, and the submitting coordinator surfaces one clean
+   :class:`~repro.errors.BrokerError` naming the job and its last error.
+
+The submitting process (:class:`BrokerBackend`) participates in stealing
+by default, so a broker run completes with zero external workers; extra
+``python -m repro.runtime worker`` processes simply drain the queue
+faster. Results are deterministic regardless of who ran what.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .. import config as config_module
+from ..config import SimConfig
+from ..core.results import SimulationResult
+from ..errors import BrokerError
+from .cache import SCHEMA_TAG, ResultCache
+from .confighash import canonicalize, config_digest
+
+#: Queue record format version (independent of the engine schema tag).
+BROKER_SCHEMA = "broker-v1"
+
+#: Defaults, overridable via REPRO_BROKER_* (see :func:`broker_env_options`).
+DEFAULT_LEASE_SECONDS = 300.0
+DEFAULT_MAX_ATTEMPTS = 3
+DEFAULT_POLL_SECONDS = 0.2
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _atomic_write_json(path: Path, record: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(record, fh, separators=(",", ":"))
+        os.replace(tmp, path)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+
+
+def _read_json(path: Path) -> dict | None:
+    """A missing, truncated or mid-rename record reads as absent."""
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+# ---------------------------------------------------------------------------
+# Config/job (de)serialization
+# ---------------------------------------------------------------------------
+
+#: Class-name registry for rebuilding canonicalized config trees. Derived
+#: from the config module so a params class added tomorrow is picked up
+#: automatically — the same no-hand-maintained-list principle as the digest.
+_CONFIG_CLASSES = {
+    cls.__name__: cls
+    for cls in vars(config_module).values()
+    if isinstance(cls, type) and dataclasses.is_dataclass(cls)
+}
+
+
+def config_from_canonical(obj: object) -> object:
+    """Rebuild a config value from its :func:`canonicalize` form.
+
+    Tagged objects become their dataclass (validated through
+    ``__post_init__`` exactly like a hand-built config), arrays become
+    tuples (the only sequence type in config trees), scalars pass through.
+    """
+    if isinstance(obj, dict):
+        tag = obj.get("__class__")
+        if tag is None:
+            raise BrokerError(f"config record without a __class__ tag: {obj!r}")
+        cls = _CONFIG_CLASSES.get(tag)
+        if cls is None:
+            known = ", ".join(sorted(_CONFIG_CLASSES))
+            raise BrokerError(
+                f"unknown config class {tag!r} in job spec (worker running "
+                f"older code?); known classes: {known}"
+            )
+        kwargs = {
+            key: config_from_canonical(value)
+            for key, value in obj.items()
+            if key != "__class__"
+        }
+        return cls(**kwargs)
+    if isinstance(obj, list):
+        return tuple(config_from_canonical(v) for v in obj)
+    return obj
+
+
+def job_spec(job) -> dict:
+    """The JSON job description a worker needs to execute ``job``."""
+    workload, scale_tok, digest = job.key
+    return {
+        "schema": BROKER_SCHEMA,
+        "engine_schema": SCHEMA_TAG,
+        "workload": workload,
+        "scale": scale_tok,
+        "config": canonicalize(job.config),
+        "digest": digest,
+        "enqueued_at": time.time(),
+    }
+
+
+def job_from_spec(spec: dict):
+    """Rebuild the :class:`~repro.runtime.runner.SimJob` a spec describes.
+
+    The config digest is recomputed from the rebuilt config and checked
+    against the spec's — catching serialization drift or a worker running
+    different config code before it can produce a wrongly-keyed result.
+    """
+    from .runner import SimJob
+
+    config = config_from_canonical(spec["config"])
+    if not isinstance(config, SimConfig):
+        raise BrokerError("job spec config does not describe a SimConfig")
+    job = SimJob(spec["workload"], config, float(spec["scale"]))
+    if config_digest(config) != spec["digest"]:
+        raise BrokerError(
+            f"config digest mismatch for job {spec['workload']!r}: the spec "
+            f"says {spec['digest'][:16]} but this worker's code computes "
+            f"{config_digest(config)[:16]} — submitter and worker are "
+            f"running different repro versions"
+        )
+    return job
+
+
+# ---------------------------------------------------------------------------
+# The queue
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClaimedJob:
+    """A job this process owns (claimed but not yet completed)."""
+
+    job_id: str
+    attempts: int  # prior execution attempts (0 on the first claim)
+    path: Path  # current location in claimed/
+    spec: dict
+    claimed_at: float
+
+
+def _split_attempts(filename: str) -> tuple[str, int] | None:
+    """``<job-id>__a<N>.json`` → (job id, N); ``None`` for foreign files."""
+    stem = filename[: -len(".json")]
+    job_id, sep, attempts = stem.rpartition("__a")
+    if not sep or not attempts.isdigit():
+        return None
+    return job_id, int(attempts)
+
+
+class BrokerQueue:
+    """Filesystem job queue; every state transition is one atomic rename."""
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ):
+        if lease_seconds <= 0:
+            raise BrokerError("lease_seconds must be positive")
+        if max_attempts < 1:
+            raise BrokerError("max_attempts must be >= 1")
+        self.root = Path(cache_dir) / "queue"
+        self.pending = self.root / "pending"
+        self.claimed = self.root / "claimed"
+        self.done = self.root / "done"
+        self.failed = self.root / "failed"
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+
+    def _ensure_dirs(self) -> None:
+        for directory in (self.pending, self.claimed, self.done, self.failed):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def job_id(job) -> str:
+        workload, scale_tok, digest = job.key
+        return f"{workload}__s{scale_tok}__{digest[:16]}"
+
+    # ------------------------------------------------------------- enqueue
+
+    def enqueue(self, job) -> str:
+        """Make ``job`` runnable unless it is already visible anywhere.
+
+        Racing submitters are harmless: both write identical specs, and a
+        same-name rename collapses them into one pending file.
+        """
+        self._ensure_dirs()
+        job_id = self.job_id(job)
+        if self.read_done(job_id) is not None or self._visible(job_id):
+            return job_id
+        # A leftover terminal failure from an earlier batch must not poison
+        # this (fresh) submission: clear it and start over at attempt 0.
+        (self.failed / f"{job_id}.json").unlink(missing_ok=True)
+        _atomic_write_json(self.pending / f"{job_id}__a0.json", job_spec(job))
+        return job_id
+
+    def _visible(self, job_id: str) -> bool:
+        """Is a runnable/leased spec for ``job_id`` already in the queue?
+
+        A *pending* spec written by an older engine version (an
+        interrupted run that predates a source change) is dead weight —
+        its claimer would only terminal-fail it on the schema check — so
+        it is deleted here and reported not-visible, letting the caller
+        enqueue a fresh current-schema spec instead.
+        """
+        prefix = f"{job_id}__a"
+        visible = False
+        for directory in (self.pending, self.claimed):
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                if not name.startswith(prefix):
+                    continue
+                if directory is self.pending:
+                    spec = _read_json(directory / name)
+                    if (
+                        spec is not None
+                        and spec.get("engine_schema") != SCHEMA_TAG
+                    ):
+                        (directory / name).unlink(missing_ok=True)
+                        continue
+                visible = True
+        return visible
+
+    # --------------------------------------------------------------- claim
+
+    def claim(self, worker_id: str | None = None) -> ClaimedJob | None:
+        """Steal one pending job, or ``None`` when the queue is empty.
+
+        The ``os.rename(pending/X, claimed/X)`` either succeeds — this
+        process now exclusively owns the job — or raises because another
+        stealer won the race, in which case the next candidate is tried.
+        """
+        self._ensure_dirs()
+        try:
+            names = sorted(os.listdir(self.pending))
+        except OSError:
+            return None
+        for name in names:
+            parsed = name.endswith(".json") and _split_attempts(name)
+            if not parsed:
+                continue  # temp file or foreign clutter, not a job
+            job_id, attempts = parsed
+            src = self.pending / name
+            dst = self.claimed / name
+            now = time.time()
+            try:
+                # Start the lease clock BEFORE the rename: the rename
+                # preserves mtime, and a job that sat pending longer than
+                # the lease would otherwise arrive in claimed/ already
+                # "expired" and be recoverable out from under its claimer.
+                os.utime(src, (now, now))
+                os.rename(src, dst)
+            except OSError:
+                continue  # lost the race for this job; try the next one
+            spec = _read_json(dst)
+            if spec is None:
+                # Unreadable spec: nothing to execute, nothing to retry.
+                self._fail_terminal(job_id, attempts, "unreadable job spec")
+                dst.unlink(missing_ok=True)
+                continue
+            return ClaimedJob(job_id, attempts, dst, spec, claimed_at=now)
+        return None
+
+    def heartbeat(self, claimed: ClaimedJob) -> None:
+        """Refresh the lease on a job this process is still executing."""
+        now = time.time()
+        try:
+            os.utime(claimed.path, (now, now))
+        except OSError:
+            pass  # claim was recovered from under us; completion will dedupe
+
+    # ------------------------------------------------------------ complete
+
+    def complete(
+        self,
+        claimed: ClaimedJob,
+        result: SimulationResult,
+        worker_id: str,
+        run_seconds: float,
+    ) -> dict:
+        """Publish the result + telemetry, then release the claim."""
+        record = {
+            "schema": BROKER_SCHEMA,
+            "engine_schema": SCHEMA_TAG,
+            "job_id": claimed.job_id,
+            "digest": claimed.spec["digest"],
+            "worker": worker_id,
+            "attempts": claimed.attempts + 1,
+            "queue_wait_s": round(
+                max(0.0, claimed.claimed_at - claimed.spec.get("enqueued_at", claimed.claimed_at)),
+                6,
+            ),
+            "run_s": round(run_seconds, 6),
+            "completed_at": time.time(),
+            "result": {
+                "workload": result.workload,
+                "mechanism": result.mechanism,
+                "raw": result.raw,
+            },
+        }
+        _atomic_write_json(self.done / f"{claimed.job_id}.json", record)
+        claimed.path.unlink(missing_ok=True)
+        return record
+
+    def fail(self, claimed: ClaimedJob, error: str) -> bool:
+        """Record a failed execution attempt by the claim's owner.
+
+        Returns ``True`` when the job remains runnable (requeued here, or
+        already requeued by lease recovery) and ``False`` when the retry
+        cap was reached and it is now terminal. A worker whose claim file
+        is gone lost its lease to recovery while it was busy — the job is
+        already back in circulation under a bumped attempt, so requeueing
+        it *again* here would create a duplicate pending spec whose later
+        claim could rename over another worker's active claim file.
+        """
+        if not claimed.path.exists():
+            return True  # lease recovered from under us; job lives on
+        attempts = claimed.attempts + 1
+        if attempts >= self.max_attempts:
+            self._fail_terminal(claimed.job_id, attempts, error)
+            claimed.path.unlink(missing_ok=True)
+            return False
+        spec = dict(claimed.spec)
+        spec["last_error"] = error
+        _atomic_write_json(self.pending / f"{claimed.job_id}__a{attempts}.json", spec)
+        claimed.path.unlink(missing_ok=True)
+        return True
+
+    def _fail_terminal(self, job_id: str, attempts: int, error: str) -> None:
+        _atomic_write_json(
+            self.failed / f"{job_id}.json",
+            {
+                "schema": BROKER_SCHEMA,
+                "job_id": job_id,
+                "attempts": attempts,
+                "error": error,
+                "failed_at": time.time(),
+            },
+        )
+
+    # ------------------------------------------------------ crash recovery
+
+    def recover_expired(self) -> int:
+        """Requeue every claimed job whose lease has expired.
+
+        Safe to call from any participant at any time: the requeue is an
+        atomic rename (one recoverer wins), a claim whose job already has
+        a done record is just a leftover to delete, and a job that has
+        exhausted its attempts goes to ``failed/`` instead. Returns how
+        many jobs changed state.
+        """
+        recovered = 0
+        try:
+            names = sorted(os.listdir(self.claimed))
+        except OSError:
+            return 0
+        now = time.time()
+        for name in names:
+            parsed = name.endswith(".json") and _split_attempts(name)
+            if not parsed:
+                continue  # temp file or foreign clutter, not a job
+            job_id, attempts = parsed
+            path = self.claimed / name
+            if self.read_done(job_id) is not None:
+                # Completed but the worker died before releasing its claim.
+                path.unlink(missing_ok=True)
+                recovered += 1
+                continue
+            try:
+                expired = now - path.stat().st_mtime > self.lease_seconds
+            except OSError:
+                continue  # released or recovered concurrently
+            if not expired:
+                continue
+            next_attempts = attempts + 1
+            if next_attempts >= self.max_attempts:
+                spec = _read_json(path)
+                error = (spec or {}).get("last_error") or (
+                    f"lease expired {next_attempts} times (worker crash?)"
+                )
+                self._fail_terminal(job_id, next_attempts, error)
+                path.unlink(missing_ok=True)
+                recovered += 1
+                continue
+            try:
+                os.rename(path, self.pending / f"{job_id}__a{next_attempts}.json")
+            except OSError:
+                continue  # another participant recovered it first
+            recovered += 1
+        return recovered
+
+    # ------------------------------------------------------------- lookups
+
+    def read_done(self, job_id: str) -> dict | None:
+        """The done record for ``job_id``, if its engine schema is current.
+
+        A record produced by a different engine version is stale — its
+        counters may not match this code — and reads as absent.
+        """
+        record = _read_json(self.done / f"{job_id}.json")
+        if record is None or record.get("engine_schema") != SCHEMA_TAG:
+            return None
+        return record
+
+    def read_failed(self, job_id: str) -> dict | None:
+        return _read_json(self.failed / f"{job_id}.json")
+
+    def counts(self) -> dict[str, int]:
+        """Per-state queue sizes (for status displays and smoke checks)."""
+        out: dict[str, int] = {}
+        for state, directory in (
+            ("pending", self.pending),
+            ("claimed", self.claimed),
+            ("done", self.done),
+            ("failed", self.failed),
+        ):
+            try:
+                out[state] = sum(
+                    1 for n in os.listdir(directory) if n.endswith(".json")
+                )
+            except OSError:
+                out[state] = 0
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Executing a claim (shared by workers and the stealing coordinator)
+# ---------------------------------------------------------------------------
+
+
+def execute_claimed(
+    queue: BrokerQueue,
+    claimed: ClaimedJob,
+    cache: ResultCache | None,
+    worker_id: str,
+) -> dict | None:
+    """Run one claimed job to a done (or failed/requeued) record.
+
+    A daemon thread refreshes the lease every third of its duration while
+    the simulation runs, so long jobs are never falsely recovered. The
+    result is mirrored into the shared result cache (warm future runs)
+    besides being published in the done record (the delivery path — it
+    works even when the cache directory is read-only for workers).
+    """
+    if claimed.spec.get("engine_schema") != SCHEMA_TAG:
+        queue._fail_terminal(
+            claimed.job_id,
+            claimed.attempts + 1,
+            f"engine schema mismatch: job submitted by "
+            f"{claimed.spec.get('engine_schema')!r}, worker runs {SCHEMA_TAG!r}",
+        )
+        claimed.path.unlink(missing_ok=True)
+        return None
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(queue.lease_seconds / 3):
+            queue.heartbeat(claimed)
+
+    beater = threading.Thread(target=_beat, daemon=True)
+    beater.start()
+    started = time.time()
+    try:
+        from .runner import execute_job
+
+        job = job_from_spec(claimed.spec)
+        result = execute_job(job)
+    except Exception as exc:  # noqa: BLE001 - any failure becomes a record
+        stop.set()
+        beater.join()
+        queue.fail(claimed, f"{type(exc).__name__}: {exc}")
+        return None
+    stop.set()
+    beater.join()
+    record = queue.complete(claimed, result, worker_id, time.time() - started)
+    if cache is not None:
+        cache.put(job.key[0], job.key[1], job.key[2], result)
+    return record
+
+
+# ---------------------------------------------------------------------------
+# The backend (submitting side)
+# ---------------------------------------------------------------------------
+
+
+def _env_float(name: str, default: float | None) -> float | None:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise BrokerError(f"{name} must be a number, got {raw!r}") from None
+
+
+def broker_env_options() -> dict:
+    """Broker tunables from ``REPRO_BROKER_*`` environment variables."""
+    max_attempts_raw = os.environ.get("REPRO_BROKER_MAX_ATTEMPTS")
+    try:
+        max_attempts = (
+            int(max_attempts_raw) if max_attempts_raw else DEFAULT_MAX_ATTEMPTS
+        )
+    except ValueError:
+        raise BrokerError(
+            f"REPRO_BROKER_MAX_ATTEMPTS must be an integer, got {max_attempts_raw!r}"
+        ) from None
+    return {
+        "lease_seconds": _env_float("REPRO_BROKER_LEASE", DEFAULT_LEASE_SECONDS),
+        "max_attempts": max_attempts,
+        "timeout": _env_float("REPRO_BROKER_TIMEOUT", None),
+        "steal": os.environ.get("REPRO_BROKER_STEAL", "1") not in ("0", "false", "no"),
+    }
+
+
+class BrokerBackend:
+    """Submit a batch to the shared queue and collect done records.
+
+    The coordinator loop interleaves three duties until every job in the
+    batch is resolved: collect freshly-done results, recover expired
+    leases, and (unless ``steal=False``) claim and execute jobs itself —
+    making it a peer of every external worker rather than a passive
+    waiter.
+    """
+
+    name = "broker"
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        steal: bool = True,
+        timeout: float | None = None,
+        poll_seconds: float = DEFAULT_POLL_SECONDS,
+        worker_id: str | None = None,
+    ):
+        self.queue = BrokerQueue(cache_dir, lease_seconds, max_attempts)
+        self.cache = ResultCache(cache_dir)
+        self.steal = steal
+        self.timeout = timeout
+        self.poll_seconds = poll_seconds
+        self.worker_id = worker_id or default_worker_id()
+        self._job_records: list[dict] = []
+        #: Jobs of the last batch answered by pre-existing done records
+        #: (not executed by anyone during the batch).
+        self.reused_results = 0
+
+    @classmethod
+    def from_env(cls, cache_dir: str | os.PathLike) -> "BrokerBackend":
+        return cls(cache_dir, **broker_env_options())
+
+    def run_batch(self, jobs: list) -> list[SimulationResult]:
+        deadline = time.time() + self.timeout if self.timeout else None
+        order: list[str] = []
+        self.reused_results = 0
+        for job in jobs:
+            job_id = self.queue.job_id(job)
+            if self.queue.read_done(job_id) is not None:
+                # A surviving done record (e.g. an interrupted earlier
+                # batch) is the answer — nothing is (re-)executed for it.
+                self.reused_results += 1
+            else:
+                self.queue.enqueue(job)
+            order.append(job_id)
+        unresolved = dict.fromkeys(order)  # insertion-ordered job-id set
+        results: dict[str, SimulationResult] = {}
+        self._job_records = []
+        while unresolved:
+            for job_id in list(unresolved):
+                record = self.queue.read_done(job_id)
+                if record is not None:
+                    results[job_id] = SimulationResult(**record["result"])
+                    self._job_records.append(record)
+                    del unresolved[job_id]
+                    continue
+                failure = self.queue.read_failed(job_id)
+                if failure is not None:
+                    raise BrokerError(
+                        f"job {job_id} failed after {failure.get('attempts')} "
+                        f"attempt(s): {failure.get('error')} "
+                        f"(record: {self.queue.failed / (job_id + '.json')})"
+                    )
+            if not unresolved:
+                break
+            self.queue.recover_expired()
+            worked = False
+            if self.steal:
+                claimed = self.queue.claim(self.worker_id)
+                if claimed is not None:
+                    execute_claimed(self.queue, claimed, self.cache, self.worker_id)
+                    worked = True
+            if not worked:
+                if deadline is not None and time.time() > deadline:
+                    states = self.queue.counts()
+                    raise BrokerError(
+                        f"timed out after {self.timeout:.0f}s waiting for "
+                        f"{len(unresolved)} job(s); queue state: {states} — "
+                        f"are any `python -m repro.runtime worker` processes "
+                        f"running against this cache dir?"
+                    )
+                time.sleep(self.poll_seconds)
+        return [results[job_id] for job_id in order]
+
+    def telemetry(self) -> dict:
+        """Aggregate per-job telemetry of the last batch."""
+        records = self._job_records
+        if not records:
+            return {}
+        per_worker: dict[str, int] = {}
+        for record in records:
+            per_worker[record["worker"]] = per_worker.get(record["worker"], 0) + 1
+        return {
+            "broker_reused": self.reused_results,
+            "broker_jobs": len(records),
+            "broker_workers": dict(sorted(per_worker.items())),
+            "broker_queue_wait_s": round(
+                sum(r["queue_wait_s"] for r in records), 3
+            ),
+            "broker_run_s": round(sum(r["run_s"] for r in records), 3),
+            "broker_retries": sum(r["attempts"] - 1 for r in records),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Stand-alone worker loop (``python -m repro.runtime worker``)
+# ---------------------------------------------------------------------------
+
+
+def run_worker(
+    cache_dir: str | os.PathLike,
+    worker_id: str | None = None,
+    drain: bool = False,
+    max_idle: float | None = None,
+    poll_seconds: float = 0.5,
+    lease_seconds: float | None = None,
+    max_attempts: int | None = None,
+    max_jobs: int | None = None,
+) -> int:
+    """Steal and execute jobs until idle for too long (or forever).
+
+    ``drain`` exits once the queue has stayed empty for ``max_idle``
+    seconds (default 10 — long enough to survive the gap between worker
+    start-up and the coordinator's enqueue); without ``drain`` the worker
+    runs until ``max_idle`` (if given) or until killed. Returns the number
+    of jobs this worker completed.
+    """
+    from ..workloads.workload import configure_trace_store
+
+    env = broker_env_options()
+    queue = BrokerQueue(
+        cache_dir,
+        lease_seconds if lease_seconds is not None else env["lease_seconds"],
+        max_attempts if max_attempts is not None else env["max_attempts"],
+    )
+    cache = ResultCache(cache_dir)
+    # Share workload builds with everyone else using this cache dir
+    # (unless REPRO_TRACE_STORE points the store somewhere specific).
+    if os.environ.get("REPRO_TRACE_STORE") is None:
+        configure_trace_store(cache_dir)
+    me = worker_id or default_worker_id()
+    if drain and max_idle is None:
+        max_idle = 10.0
+    completed = 0
+    idle_since: float | None = None
+    print(f"[worker {me}] stealing from {queue.root}", flush=True)
+    while True:
+        queue.recover_expired()
+        claimed = queue.claim(me)
+        if claimed is None:
+            now = time.time()
+            if idle_since is None:
+                idle_since = now
+            if max_idle is not None and now - idle_since >= max_idle:
+                break
+            time.sleep(poll_seconds)
+            continue
+        idle_since = None
+        record = execute_claimed(queue, claimed, cache, me)
+        if record is not None:
+            completed += 1
+            print(
+                f"[worker {me}] done {claimed.job_id} "
+                f"(attempt {record['attempts']}, {record['run_s']:.2f}s)",
+                flush=True,
+            )
+        else:
+            print(f"[worker {me}] failed attempt on {claimed.job_id}", flush=True)
+        if max_jobs is not None and completed >= max_jobs:
+            break
+    print(f"[worker {me}] exiting after {completed} job(s)", flush=True)
+    return completed

@@ -1,48 +1,54 @@
-"""Parallel experiment runtime: sound memoization + process-pool execution.
+"""Parallel experiment runtime: sound memoization + pluggable executors.
 
 The runtime owns every simulation run the experiment layer performs. It
-layers three caches/executors, checked in order:
+layers caches and an executor, checked in order:
 
 1. an **in-process memo** (same object returned for repeated lookups, so
    intra-process identity semantics are preserved),
 2. an optional **persistent disk cache** (:mod:`repro.runtime.cache`),
-3. actual simulation — serially for ``jobs=1``, otherwise batched across a
-   ``ProcessPoolExecutor``.
+3. actual simulation through an **executor backend**
+   (:mod:`repro.runtime.executors`): in-process (``serial``), across a
+   process pool (``pool``), or work-stealing across independent worker
+   processes and machines via the file-based job broker (``broker``,
+   :mod:`repro.runtime.broker`).
 
 Keys are ``(workload, scale, config-digest)`` where the digest covers the
 *entire* config tree (:mod:`repro.runtime.confighash`); no hand-maintained
 field list exists to drift out of sync with :class:`~repro.config.SimConfig`.
+The key is process- and machine-agnostic, which is exactly what lets a
+remote backend slot in behind :meth:`ExperimentRuntime._execute_batch`.
 
 Batch submission (:meth:`ExperimentRuntime.run_many`) is what the sweep
 experiments use: they assemble their full (workload, config) job list up
 front, the runtime dedupes it, resolves memo/disk hits, executes only the
-misses — in parallel — and returns results in submission order. Results
-are therefore deterministic and bit-identical regardless of ``jobs``:
-the engine itself is deterministic, and parallelism only changes *where*
-a run executes, never its inputs.
+misses — on the selected backend — and returns results in submission
+order. Results are therefore deterministic and bit-identical regardless of
+``jobs`` or backend: the engine itself is deterministic, and the executor
+only changes *where* a run executes, never its inputs.
 
-The process-wide default runtime is configured from ``REPRO_JOBS`` /
-``REPRO_CACHE_DIR`` or via :func:`configure_runtime` (the
-``python -m repro.experiments --jobs/--cache-dir`` flags).
+**Option precedence** is asserted in exactly one place,
+:func:`resolve_options`: an explicit keyword argument (or CLI flag, which
+forwards as one) always beats the corresponding ``REPRO_*`` environment
+variable, and the environment variable beats the built-in default
+(``jobs=1``, no cache dir, ``backend="auto"``). The process-wide default
+runtime is configured from ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` /
+``REPRO_BACKEND`` or via :func:`configure_runtime` (the
+``python -m repro.experiments --jobs/--cache-dir/--backend`` flags).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..config import SimConfig
 from ..core.results import SimulationResult
 from ..core.simulator import Simulator
-from ..workloads.workload import (
-    configure_trace_store,
-    load_workload,
-    trace_store_env_value,
-)
+from ..errors import ConfigError
+from ..workloads.workload import configure_trace_store, load_workload
 from .cache import ResultCache
 from .confighash import config_digest, scale_token
+from .executors import make_backend, resolve_backend_name
 
 #: Keys are (workload name, scale token, config digest).
 RunKey = tuple[str, str, str]
@@ -66,23 +72,92 @@ class SimJob:
 
 
 def execute_job(job: SimJob) -> SimulationResult:
-    """Run one job in the current process (also the pool worker entry)."""
+    """Run one job in the current process (also the worker entry point)."""
     workload = load_workload(job.workload, scale=job.workload_scale)
     return Simulator(workload, job.config).run()
+
+
+# ---------------------------------------------------------------------------
+# Option resolution (the single precedence point)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Fully-resolved runtime options (kwargs > ``REPRO_*`` > defaults)."""
+
+    jobs: int
+    cache_dir: str | None
+    backend: str
+
+
+def resolve_options(
+    jobs: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    backend: str | None = None,
+) -> RuntimeOptions:
+    """Resolve runtime options with the documented precedence.
+
+    For each option independently: an explicit (non-``None``) argument
+    wins outright — the corresponding environment variable is not even
+    read, so a stale or malformed ``REPRO_*`` value can never override or
+    break an explicit choice. Otherwise the environment variable applies
+    (``REPRO_JOBS``, ``REPRO_CACHE_DIR``, ``REPRO_BACKEND``), and finally
+    the default (``1``, no cache, ``auto``). Validation happens here for
+    every entry path — constructor, :func:`configure_runtime`, CLI flags.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "1") or "1"
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer >= 1, got {raw!r}"
+            ) from None
+        if jobs < 1:
+            raise ValueError(f"REPRO_JOBS must be an integer >= 1, got {raw!r}")
+    elif jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    else:
+        cache_dir = os.fspath(cache_dir)
+    backend = resolve_backend_name(
+        backend if backend is not None else os.environ.get("REPRO_BACKEND") or None
+    )
+    if backend == "broker" and cache_dir is None:
+        # Fail at configuration time, not minutes later at the first
+        # cache-miss batch (make_backend keeps the same check as a
+        # backstop for directly-constructed runtimes).
+        raise ConfigError(
+            "the broker backend needs a shared cache directory for its job "
+            "queue: pass --cache-dir or set REPRO_CACHE_DIR"
+        )
+    return RuntimeOptions(jobs=jobs, cache_dir=cache_dir, backend=backend)
 
 
 class ExperimentRuntime:
     """Executes and caches simulation jobs; see module docstring."""
 
-    def __init__(self, jobs: int = 1, cache_dir: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+        backend: str = "auto",
+    ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
+        self.backend = resolve_backend_name(backend)
+        self.cache_dir: str | None = os.fspath(cache_dir) if cache_dir else None
         self.disk: ResultCache | None = (
             ResultCache(cache_dir) if cache_dir else None
         )
         self._memo: dict[RunKey, SimulationResult] = {}
         self.executed = 0
+        #: Executor metadata from the most recent batch (broker telemetry,
+        #: pool width); merged into the CLI's cache-metrics line.
+        self.backend_telemetry: dict = {}
 
     # ------------------------------------------------------------- lookups
 
@@ -126,8 +201,9 @@ class ExperimentRuntime:
         """Run a batch of jobs; results align with ``jobs`` order.
 
         Duplicate jobs are deduplicated, cached jobs are resolved without
-        executing, and the remaining misses run on a process pool when
-        ``self.jobs > 1`` (serial otherwise, or if pools are unavailable).
+        executing, and the remaining misses run on the selected executor
+        backend (process pool with ``jobs > 1`` by default; the broker
+        fans them out across worker processes/machines).
         """
         keys = [job.key for job in jobs]
         pending: list[tuple[RunKey, SimJob]] = []
@@ -138,59 +214,77 @@ class ExperimentRuntime:
             seen.add(key)
             pending.append((key, job))
         if pending:
-            for (key, job), result in zip(pending, self._execute_batch(pending)):
-                self.executed += 1
+            batch = self._execute_batch(pending)
+            for (key, job), result in zip(pending, batch):
                 self._store(key, result)
         return [self._memo[key] for key in keys]
 
     def _execute_batch(
         self, pending: list[tuple[RunKey, SimJob]]
     ) -> list[SimulationResult]:
+        """Dispatch a batch of cache misses to the executor backend."""
         jobs = [job for _, job in pending]
-        if self.jobs > 1 and len(jobs) > 1:
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:
-                ctx = multiprocessing.get_context()  # spawn-only platform
-            if ctx.get_start_method() == "fork":
-                # Build each distinct workload once in this process first:
-                # forked children then inherit the built CFG and the flat
-                # columnar trace copy-on-write instead of regenerating them
-                # per worker. (Under spawn, workers start from a fresh
-                # interpreter and instead warm up from the persistent trace
-                # store when one is configured.)
-                for wl, scale in {(j.workload, j.workload_scale) for j in jobs}:
-                    load_workload(wl, scale=scale)
-            # A store configured via configure_trace_store() — a directory
-            # or an explicit disable — lives in a module global that
-            # spawn-started workers (fresh interpreters) would never see;
-            # export it for the lifetime of the pool ("" = disabled) so
-            # every worker resolves the same store regardless of start
-            # method, then restore the environment (a leaked value would
-            # override later reconfiguration or env changes).
-            env_value = trace_store_env_value()
-            env_before = os.environ.get("REPRO_TRACE_STORE")
-            if env_value is not None:
-                os.environ["REPRO_TRACE_STORE"] = env_value
-            workers = min(self.jobs, len(jobs))
-            try:
-                with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                    return list(pool.map(execute_job, jobs))
-            except OSError:
-                pass  # no pool support (restricted sandbox) — run serially
-            finally:
-                if env_value is not None:
-                    if env_before is None:
-                        os.environ.pop("REPRO_TRACE_STORE", None)
-                    else:
-                        os.environ["REPRO_TRACE_STORE"] = env_before
-        return [execute_job(job) for job in jobs]
+        executor = make_backend(self.backend, jobs=self.jobs, cache_dir=self.cache_dir)
+        results = executor.run_batch(jobs)
+        # The broker can answer jobs from done records that survived an
+        # earlier (interrupted) batch; those were not simulated by anyone
+        # now, so they must not count as executions.
+        self.executed += len(jobs) - getattr(executor, "reused_results", 0)
+        telemetry = dict(executor.telemetry())
+        telemetry["backend"] = executor.name
+        self._merge_telemetry(telemetry)
+        return results
+
+    def _merge_telemetry(self, telemetry: dict) -> None:
+        """Accumulate executor telemetry across the runtime's batches.
+
+        Numeric fields sum, per-worker job counts merge, so a multi-batch
+        run (one per experiment module) reports whole-run totals. A
+        backend switch between batches restarts the aggregate.
+        """
+        merged = self.backend_telemetry
+        if merged.get("backend") != telemetry["backend"]:
+            self.backend_telemetry = telemetry
+            return
+        for key, value in telemetry.items():
+            if key == "broker_workers":
+                workers = merged.setdefault(key, {})
+                for worker, count in value.items():
+                    workers[worker] = workers.get(worker, 0) + count
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                if key == "pool_workers":
+                    merged[key] = max(merged.get(key, 0), value)
+                else:
+                    merged[key] = round(merged.get(key, 0) + value, 6)
+            else:
+                merged[key] = value
 
     # ------------------------------------------------------------- control
 
     def clear_memo(self) -> None:
         """Drop the in-process memo (the disk cache is left intact)."""
         self._memo.clear()
+
+
+def backend_summary(runtime: "ExperimentRuntime") -> str:
+    """``backend=NAME, key=value, ...`` for CLI metric trailers.
+
+    One formatter shared by every CLI that prints the runtime's executor
+    telemetry, so the ``[cache: ...]`` and ``[sweep ...]`` trailers can
+    never drift apart. Every value renders flat (per-worker counts as
+    ``w1:19/w2:17``) — the trailer stays a comma-separated key=value
+    list that line filters can split naively.
+    """
+
+    def flat(value: object) -> object:
+        if isinstance(value, dict):
+            return "/".join(f"{k}:{v}" for k, v in sorted(value.items()))
+        return value
+
+    telemetry = dict(runtime.backend_telemetry)
+    backend = telemetry.pop("backend", runtime.backend)
+    extra = "".join(f", {key}={flat(telemetry[key])}" for key in sorted(telemetry))
+    return f"backend={backend}{extra}"
 
 
 # ---------------------------------------------------------------------------
@@ -200,47 +294,41 @@ class ExperimentRuntime:
 _RUNTIME: ExperimentRuntime | None = None
 
 
-def _from_env() -> ExperimentRuntime:
-    raw = os.environ.get("REPRO_JOBS", "1") or "1"
-    try:
-        jobs = int(raw)
-    except ValueError:
-        raise ValueError(f"REPRO_JOBS must be an integer >= 1, got {raw!r}") from None
-    if jobs < 1:
-        raise ValueError(f"REPRO_JOBS must be an integer >= 1, got {raw!r}")
-    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
-    return ExperimentRuntime(jobs=jobs, cache_dir=cache_dir)
+def _from_options(options: RuntimeOptions) -> ExperimentRuntime:
+    return ExperimentRuntime(
+        jobs=options.jobs, cache_dir=options.cache_dir, backend=options.backend
+    )
 
 
 def get_runtime() -> ExperimentRuntime:
     """The process-wide runtime (created from env vars on first use)."""
     global _RUNTIME
     if _RUNTIME is None:
-        _RUNTIME = _from_env()
+        _RUNTIME = _from_options(resolve_options())
     return _RUNTIME
 
 
 def configure_runtime(
     jobs: int | None = None,
     cache_dir: str | os.PathLike | None = None,
+    backend: str | None = None,
 ) -> ExperimentRuntime:
     """Replace the process-wide runtime; unset options fall back to env.
 
-    The previous runtime's in-process memo is carried over (its entries
-    stay valid — keys are content-addressed), so reconfiguring mid-process
-    never discards work. An explicit ``cache_dir`` also points the
-    workload trace store at the same directory (the two subsystems use
-    disjoint schema-tag subdirectories), so ``--cache-dir`` gives pool
-    workers warm workload builds as well as warm results.
+    Precedence is :func:`resolve_options`'s: every explicit argument beats
+    its ``REPRO_*`` variable, which beats the default. The previous
+    runtime's in-process memo is carried over (its entries stay valid —
+    keys are content-addressed), so reconfiguring mid-process never
+    discards work. An explicit ``cache_dir`` also points the workload
+    trace store at the same directory (the two subsystems use disjoint
+    schema-tag subdirectories), so ``--cache-dir`` gives pool and broker
+    workers warm workload builds as well as warm results — unless
+    ``REPRO_TRACE_STORE`` is set, which being the more specific control
+    keeps pointing the store wherever it says.
     """
     global _RUNTIME
-    runtime = _from_env()
-    if jobs is not None:
-        if jobs < 1:
-            raise ValueError("jobs must be >= 1")
-        runtime.jobs = jobs
-    if cache_dir is not None:
-        runtime.disk = ResultCache(cache_dir)
+    runtime = _from_options(resolve_options(jobs, cache_dir, backend))
+    if cache_dir is not None and os.environ.get("REPRO_TRACE_STORE") is None:
         configure_trace_store(cache_dir)
     if _RUNTIME is not None:
         runtime._memo.update(_RUNTIME._memo)

@@ -1,0 +1,41 @@
+"""The generated tables in docs/experiments.md must match the registries.
+
+Same gate CI runs (`python scripts/generate_docs_tables.py --check`):
+adding an exhibit, sweep, or paper claim without regenerating the docs is
+a test failure, not a silent drift.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_generator():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    try:
+        spec = importlib.util.spec_from_file_location(
+            "generate_docs_tables", REPO_ROOT / "scripts" / "generate_docs_tables.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    finally:
+        sys.path.remove(str(REPO_ROOT / "scripts"))
+
+
+def test_docs_tables_match_registries():
+    generator = _load_generator()
+    committed = generator.DOC_PATH.read_text()
+    assert generator.render(committed) == committed, (
+        "docs/experiments.md is stale — regenerate with "
+        "`python scripts/generate_docs_tables.py`"
+    )
+
+
+def test_check_mode_reports_clean():
+    generator = _load_generator()
+    assert generator.main(["--check"]) == 0

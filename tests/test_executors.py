@@ -1,0 +1,400 @@
+"""Executor backends: resolution, equivalence, and broker fault paths."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.mechanisms import MECHANISMS, make_config
+from repro.errors import BrokerError, ConfigError
+from repro.runtime import (
+    BACKEND_NAMES,
+    ExperimentRuntime,
+    ProcessPoolBackend,
+    SerialBackend,
+    SimJob,
+    canonicalize,
+    make_backend,
+    resolve_backend_name,
+    run_worker,
+)
+from repro.runtime.broker import (
+    BrokerBackend,
+    BrokerQueue,
+    config_from_canonical,
+    job_from_spec,
+    job_spec,
+)
+
+from repro.workloads.workload import reset_trace_store
+
+#: Tiny but real workload for executor tests.
+WL = "streaming"
+SCALE = 0.05
+
+
+@pytest.fixture(autouse=True)
+def _restore_trace_store():
+    """run_worker pins the process-wide trace store; undo it per test."""
+    yield
+    reset_trace_store()
+
+
+def _jobs(*configs, workload=WL, scale=SCALE):
+    return [SimJob(workload, cfg, scale) for cfg in configs]
+
+
+def _backdate(path, seconds: float) -> None:
+    """Age a file's mtime so its lease reads as expired."""
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+# ---------------------------------------------------------------------------
+# Backend name resolution
+# ---------------------------------------------------------------------------
+
+
+class TestBackendResolution:
+    def test_none_means_auto(self):
+        assert resolve_backend_name(None) == "auto"
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_every_registered_name_resolves(self, name):
+        assert resolve_backend_name(name) == name
+
+    def test_stale_name_lists_valid_backends(self):
+        with pytest.raises(ConfigError) as err:
+            resolve_backend_name("slurm")
+        message = str(err.value)
+        for name in BACKEND_NAMES:
+            assert name in message
+        assert "REPRO_BACKEND" in message
+
+    def test_auto_picks_pool_iff_parallel(self):
+        assert isinstance(make_backend("auto", jobs=1, cache_dir=None), SerialBackend)
+        assert isinstance(
+            make_backend("auto", jobs=4, cache_dir=None), ProcessPoolBackend
+        )
+
+    def test_broker_requires_cache_dir(self):
+        with pytest.raises(ConfigError) as err:
+            make_backend("broker", jobs=1, cache_dir=None)
+        assert "cache" in str(err.value).lower()
+
+    def test_broker_resolves_with_cache_dir(self, tmp_path):
+        backend = make_backend("broker", jobs=1, cache_dir=tmp_path)
+        assert backend.name == "broker"
+
+    def test_broker_without_cache_dir_fails_at_configuration_time(self, monkeypatch):
+        """Selecting the broker with no cache dir must error up front, not
+        minutes later at the first cache-miss batch."""
+        from repro.runtime import resolve_options
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(ConfigError, match="cache director"):
+            resolve_options(backend="broker")
+
+
+# ---------------------------------------------------------------------------
+# Job spec round-trip (what travels through the queue files)
+# ---------------------------------------------------------------------------
+
+
+class TestJobSpecRoundTrip:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_config_round_trips_for_every_mechanism(self, mechanism):
+        cfg = make_config(mechanism)
+        assert config_from_canonical(canonicalize(cfg)) == cfg
+
+    def test_spec_rebuilds_equal_job(self):
+        job = SimJob(WL, make_config("boomerang").with_llc_latency(42), SCALE)
+        rebuilt = job_from_spec(job_spec(job))
+        assert rebuilt == job
+        assert rebuilt.key == job.key
+
+    def test_tampered_config_fails_digest_check(self):
+        job = SimJob(WL, make_config("fdip"), SCALE)
+        spec = job_spec(job)
+        spec["config"]["core"]["ftq_depth"] = 7  # not what the digest covers
+        with pytest.raises(BrokerError) as err:
+            job_from_spec(spec)
+        assert "digest mismatch" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical results across backends (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+class TestBackendEquivalence:
+    def test_serial_pool_broker_bit_identical_all_mechanisms(self, tmp_path):
+        configs = [make_config(m) for m in MECHANISMS]
+        jobs = _jobs(*configs)
+        serial = ExperimentRuntime(backend="serial").run_many(jobs)
+        pool = ExperimentRuntime(jobs=2, backend="pool").run_many(jobs)
+        broker = ExperimentRuntime(
+            backend="broker", cache_dir=tmp_path / "broker"
+        ).run_many(jobs)
+        assert len(serial) == len(pool) == len(broker) == len(MECHANISMS)
+        for s, p, b in zip(serial, pool, broker):
+            assert s.mechanism == p.mechanism == b.mechanism
+            assert s.raw == p.raw, f"pool diverged on {s.mechanism}"
+            assert s.raw == b.raw, f"broker diverged on {s.mechanism}"
+
+    def test_broker_telemetry_folded_into_runtime(self, tmp_path):
+        rt = ExperimentRuntime(backend="broker", cache_dir=tmp_path)
+        rt.run_many(_jobs(make_config("none"), make_config("fdip")))
+        telemetry = rt.backend_telemetry
+        assert telemetry["backend"] == "broker"
+        assert telemetry["broker_jobs"] == 2
+        assert sum(telemetry["broker_workers"].values()) == 2
+        assert telemetry["broker_retries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Broker queue semantics
+# ---------------------------------------------------------------------------
+
+
+class TestDuplicateClaimImpossible:
+    def test_concurrent_stealers_claim_each_job_exactly_once(self, tmp_path):
+        queue = BrokerQueue(tmp_path)
+        jobs = _jobs(*(make_config("none").with_llc_latency(lat) for lat in range(1, 13)))
+        ids = [queue.enqueue(job) for job in jobs]
+        assert len(set(ids)) == len(jobs)
+
+        claims: list[str] = []
+        lock = threading.Lock()
+
+        def stealer():
+            while True:
+                claimed = queue.claim()
+                if claimed is None:
+                    return
+                with lock:
+                    claims.append(claimed.job_id)
+
+        threads = [threading.Thread(target=stealer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claims) == sorted(ids)  # every job exactly once
+        assert queue.counts()["pending"] == 0
+        assert queue.counts()["claimed"] == len(jobs)
+
+    def test_enqueue_is_idempotent_while_visible(self, tmp_path):
+        queue = BrokerQueue(tmp_path)
+        job = _jobs(make_config("none"))[0]
+        queue.enqueue(job)
+        queue.enqueue(job)
+        assert queue.counts()["pending"] == 1
+        queue.claim()
+        queue.enqueue(job)  # claimed jobs must not be double-queued either
+        assert queue.counts()["pending"] == 0
+
+
+class TestClaimLeaseClock:
+    def test_long_pending_wait_does_not_arrive_expired(self, tmp_path):
+        """The rename preserves mtime, so the lease clock must be reset at
+        claim time — otherwise a job that waited longer than the lease is
+        recoverable out from under its (live) claimer."""
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        queue.enqueue(_jobs(make_config("none"))[0])
+        pending_file = next(queue.pending.glob("*.json"))
+        _backdate(pending_file, seconds=3600)  # sat in the queue for an hour
+        claimed = queue.claim()
+        assert claimed is not None
+        assert queue.recover_expired() == 0  # fresh lease, not recoverable
+        assert queue.counts()["claimed"] == 1
+
+
+class TestStaleSpecs:
+    def test_stale_engine_schema_pending_spec_is_replaced_on_enqueue(self, tmp_path):
+        import json
+
+        queue = BrokerQueue(tmp_path)
+        job = _jobs(make_config("none"))[0]
+        job_id = queue.enqueue(job)
+        path = queue.pending / f"{job_id}__a0.json"
+        stale = json.loads(path.read_text())
+        stale["engine_schema"] = "engine-v0-000000000000"
+        path.write_text(json.dumps(stale))
+        queue.enqueue(job)  # must notice the dead spec and write a fresh one
+        spec = json.loads(path.read_text())
+        from repro.runtime import SCHEMA_TAG
+
+        assert spec["engine_schema"] == SCHEMA_TAG
+        assert queue.counts()["pending"] == 1
+
+    def test_preexisting_done_records_do_not_count_as_executed(self, tmp_path):
+        jobs = _jobs(make_config("none"), make_config("fdip"))
+        first = ExperimentRuntime(backend="broker", cache_dir=tmp_path)
+        first.run_many(jobs)
+        assert first.executed == 2
+        # Wipe the result cache but keep the queue's done records — the
+        # state an interrupted coordinator leaves behind.
+        from repro.runtime import SCHEMA_TAG
+        import shutil
+
+        shutil.rmtree(tmp_path / SCHEMA_TAG)
+        rerun = ExperimentRuntime(backend="broker", cache_dir=tmp_path)
+        results = rerun.run_many(jobs)
+        assert len(results) == 2 and all(r.raw["cycles"] > 0 for r in results)
+        assert rerun.executed == 0  # answered from done records, not re-run
+        assert rerun.backend_telemetry["broker_reused"] == 2
+
+
+class TestCrashRecovery:
+    def test_expired_lease_requeues_with_bumped_attempt(self, tmp_path):
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        job = _jobs(make_config("none"))[0]
+        job_id = queue.enqueue(job)
+        claimed = queue.claim()
+        assert claimed is not None and claimed.attempts == 0
+        # Simulate a SIGKILLed worker: no completion, lease left to age out.
+        _backdate(claimed.path, seconds=60)
+        assert queue.recover_expired() == 1
+        names = os.listdir(queue.pending)
+        assert names == [f"{job_id}__a1.json"]
+        reclaimed = queue.claim()
+        assert reclaimed is not None and reclaimed.attempts == 1
+
+    def test_live_lease_is_not_recovered(self, tmp_path):
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        queue.enqueue(_jobs(make_config("none"))[0])
+        claimed = queue.claim()
+        queue.heartbeat(claimed)
+        assert queue.recover_expired() == 0
+        assert queue.counts()["claimed"] == 1
+
+    def test_completed_but_unreleased_claim_is_cleaned_not_requeued(self, tmp_path):
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        job = _jobs(make_config("none"))[0]
+        queue.enqueue(job)
+        claimed = queue.claim()
+        from repro.runtime import execute_job
+
+        result = execute_job(job)
+        record = queue.complete(claimed, result, "w-test", run_seconds=0.1)
+        assert record["attempts"] == 1
+        # Re-create the "crashed after done, before unlink" window.
+        claimed.path.write_text((queue.done / f"{claimed.job_id}.json").read_text())
+        _backdate(claimed.path, seconds=60)
+        queue.recover_expired()
+        assert queue.counts() == {"pending": 0, "claimed": 0, "done": 1, "failed": 0}
+
+    def test_retry_cap_moves_job_to_failed(self, tmp_path):
+        queue = BrokerQueue(tmp_path, lease_seconds=30, max_attempts=2)
+        job = _jobs(make_config("none"))[0]
+        job_id = queue.enqueue(job)
+        for expected_attempts in (0, 1):
+            claimed = queue.claim()
+            assert claimed.attempts == expected_attempts
+            _backdate(claimed.path, seconds=60)
+            queue.recover_expired()
+        failure = queue.read_failed(job_id)
+        assert failure is not None
+        assert failure["attempts"] == 2
+        assert "lease expired" in failure["error"]
+        assert queue.counts()["pending"] == 0
+
+
+class TestRetryCapSurfacesCleanly:
+    def test_poison_job_raises_broker_error_with_context(self, tmp_path):
+        # A workload no worker can load: every execution attempt fails,
+        # the retry cap trips, and the coordinator reports one clean error.
+        poison = SimJob("no-such-workload", make_config("none"), SCALE)
+        backend = BrokerBackend(tmp_path, max_attempts=2, timeout=30)
+        with pytest.raises(BrokerError) as err:
+            backend.run_batch([poison])
+        message = str(err.value)
+        assert "no-such-workload" in message
+        assert "2 attempt(s)" in message
+        assert queue_failed_count(tmp_path) == 1
+
+    def test_failed_marker_does_not_poison_resubmission(self, tmp_path):
+        queue = BrokerQueue(tmp_path)
+        job = _jobs(make_config("none"))[0]
+        job_id = queue.enqueue(job)
+        claimed = queue.claim()
+        assert queue.fail(claimed, "boom") is True  # requeued (attempt 1 of 3)
+        claimed = queue.claim()
+        assert queue.fail(claimed, "boom") is True  # requeued (attempt 2 of 3)
+        claimed = queue.claim()
+        assert queue.fail(claimed, "boom") is False  # terminal
+        assert queue.read_failed(job_id) is not None
+        queue.enqueue(job)  # a fresh submission starts over
+        assert queue.read_failed(job_id) is None
+        assert queue.counts()["pending"] == 1
+
+    def test_fail_after_lost_lease_does_not_double_requeue(self, tmp_path):
+        """A worker whose claim was lease-recovered while it was busy must
+        not requeue the job a second time — the recovery already did."""
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        queue.enqueue(_jobs(make_config("none"))[0])
+        claimed = queue.claim()
+        _backdate(claimed.path, seconds=60)
+        assert queue.recover_expired() == 1  # job is pending again (a1)
+        assert queue.fail(claimed, "boom") is True  # no-op: claim is gone
+        assert queue.counts()["pending"] == 1  # exactly one spec, not two
+        assert queue.read_failed(claimed.job_id) is None
+
+    def test_backend_summary_renders_flat_worker_counts(self, tmp_path):
+        from repro.runtime import backend_summary
+
+        rt = ExperimentRuntime(backend="broker", cache_dir=tmp_path)
+        rt.backend_telemetry = {
+            "backend": "broker",
+            "broker_jobs": 3,
+            "broker_workers": {"w2": 1, "w1": 2},
+        }
+        summary = backend_summary(rt)
+        assert summary == "backend=broker, broker_jobs=3, broker_workers=w1:2/w2:1"
+
+    def test_coordinator_timeout_without_workers(self, tmp_path):
+        backend = BrokerBackend(tmp_path, steal=False, timeout=0.5, poll_seconds=0.05)
+        with pytest.raises(BrokerError) as err:
+            backend.run_batch(_jobs(make_config("none")))
+        assert "timed out" in str(err.value)
+
+
+def queue_failed_count(cache_dir) -> int:
+    return BrokerQueue(cache_dir).counts()["failed"]
+
+
+# ---------------------------------------------------------------------------
+# The stand-alone worker loop
+# ---------------------------------------------------------------------------
+
+
+class TestRunWorker:
+    def test_drain_on_empty_queue_exits_quickly(self, tmp_path):
+        started = time.time()
+        completed = run_worker(tmp_path, drain=True, max_idle=0.2, poll_seconds=0.05)
+        assert completed == 0
+        assert time.time() - started < 10
+
+    def test_worker_drains_queue_and_records_telemetry(self, tmp_path):
+        queue = BrokerQueue(tmp_path)
+        jobs = _jobs(make_config("none"), make_config("fdip"))
+        ids = [queue.enqueue(job) for job in jobs]
+        completed = run_worker(
+            tmp_path, worker_id="w-test", drain=True, max_idle=0.2, poll_seconds=0.05
+        )
+        assert completed == 2
+        for job_id in ids:
+            record = queue.read_done(job_id)
+            assert record is not None
+            assert record["worker"] == "w-test"
+            assert record["attempts"] == 1
+            assert record["run_s"] >= 0
+        # The worker also warmed the shared result cache: a fresh runtime
+        # against the same dir resolves both jobs without simulating.
+        warm = ExperimentRuntime(cache_dir=tmp_path)
+        warm.run_many(jobs)
+        assert warm.executed == 0

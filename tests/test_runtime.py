@@ -157,6 +157,75 @@ class TestDiskCache:
         assert len(list((tmp_path / SCHEMA_TAG).rglob("*.json"))) == 2
 
 
+class TestOptionPrecedence:
+    """Explicit kwargs beat REPRO_* beat defaults — resolve_options is the
+    single place that rule lives (and the CLIs forward flags as kwargs)."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_global_runtime(self, monkeypatch):
+        from repro.runtime import runner
+
+        monkeypatch.setattr(runner, "_RUNTIME", None)
+
+    def test_defaults(self, monkeypatch):
+        from repro.runtime import resolve_options
+
+        for var in ("REPRO_JOBS", "REPRO_CACHE_DIR", "REPRO_BACKEND"):
+            monkeypatch.delenv(var, raising=False)
+        options = resolve_options()
+        assert (options.jobs, options.cache_dir, options.backend) == (1, None, "auto")
+
+    def test_env_beats_defaults(self, monkeypatch, tmp_path):
+        from repro.runtime import resolve_options
+
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        options = resolve_options()
+        assert options.jobs == 3
+        assert options.cache_dir == str(tmp_path)
+        assert options.backend == "serial"
+
+    def test_explicit_kwargs_beat_env(self, monkeypatch, tmp_path):
+        from repro.runtime import resolve_options
+
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/somewhere/else")
+        monkeypatch.setenv("REPRO_BACKEND", "broker")
+        options = resolve_options(jobs=2, cache_dir=tmp_path, backend="serial")
+        assert options.jobs == 2
+        assert options.cache_dir == str(tmp_path)
+        assert options.backend == "serial"
+
+    def test_explicit_kwarg_shields_stale_env(self, monkeypatch):
+        """A malformed REPRO_* value must not break an explicit choice —
+        the variable is not even read when the kwarg is given."""
+        from repro.runtime import configure_runtime
+
+        monkeypatch.setenv("REPRO_JOBS", "bogus")
+        monkeypatch.setenv("REPRO_BACKEND", "bogus-backend")
+        runtime = configure_runtime(jobs=2, backend="pool")
+        assert runtime.jobs == 2
+        assert runtime.backend == "pool"
+
+    def test_stale_env_backend_lists_valid_names(self, monkeypatch):
+        from repro.errors import ConfigError
+        from repro.runtime import BACKEND_NAMES, resolve_options
+
+        monkeypatch.setenv("REPRO_BACKEND", "bogus-backend")
+        with pytest.raises(ConfigError) as err:
+            resolve_options()
+        for name in BACKEND_NAMES:
+            assert name in str(err.value)
+
+    def test_invalid_env_jobs_still_rejected_when_consulted(self, monkeypatch):
+        from repro.runtime import resolve_options
+
+        monkeypatch.setenv("REPRO_JOBS", "zero point five")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_options()
+
+
 class TestEngineCounters:
     def test_ftq_flushes_surfaced(self):
         """Squash accounting is externally observable via ftq_flushes."""

@@ -1,0 +1,167 @@
+"""Declarative sweep grids: spec geometry, registry integrity, execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.mechanisms import MECHANISMS, make_config
+from repro.errors import ConfigError
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import SCALES, ExperimentScale, get_scale
+from repro.experiments.sweeps import KNOBS, SWEEPS, SweepSpec, get_sweep
+from repro.experiments.sweeps.__main__ import main
+
+#: A scale small enough to actually execute a sweep in a unit test.
+TINY = ExperimentScale(
+    name="tiny",
+    workload_scale=0.05,
+    latency_points=(1, 30),
+    btb_sizes=(2048,),
+    fig3_btb_sizes=(2048,),
+)
+
+
+@pytest.fixture
+def tiny_scale(monkeypatch):
+    monkeypatch.setitem(SCALES, "tiny", TINY)
+    return TINY
+
+
+class TestRegistryIntegrity:
+    def test_names_match_keys(self):
+        for name, spec in SWEEPS.items():
+            assert spec.name == name
+
+    def test_every_exhibit_reference_is_real(self):
+        for spec in SWEEPS.values():
+            if spec.exhibit is not None:
+                assert spec.exhibit in EXPERIMENTS, spec.name
+
+    def test_roadmap_dense_grid_shape(self):
+        """The ROADMAP's 8-point latency x 5-point BTB grid, as promised."""
+        spec = SWEEPS["dense-latency-btb"]
+        axes = dict(spec.axes)
+        assert len(axes["llc_latency"]) == 8
+        assert len(axes["btb_entries"]) == 5
+        # fdip + boomerang + matched baseline over 6 workloads x 40 points
+        assert spec.job_count(get_scale("default")) == 3 * 8 * 5 * 6
+
+    def test_ablation_matrix_covers_all_profiles_and_mechanisms(self):
+        spec = SWEEPS["ablation-matrix"]
+        assert spec.workload_set == "all"
+        assert len(spec.workloads()) == 10
+        assert set(spec.mechanisms) == set(MECHANISMS) - {"none"}
+
+    def test_get_sweep_unknown_name_lists_known(self):
+        with pytest.raises(ConfigError) as err:
+            get_sweep("nope")
+        assert "smoke" in str(err.value)
+
+
+class TestSpecValidation:
+    def test_unknown_mechanism_rejected_at_construction(self):
+        with pytest.raises(ConfigError, match="unknown mechanisms"):
+            SweepSpec("x", "t", "d", mechanisms=("warp-drive",))
+
+    def test_unknown_axis_rejected_at_construction(self):
+        with pytest.raises(ConfigError, match="unknown axes"):
+            SweepSpec("x", "t", "d", mechanisms=("fdip",), axes=(("hyper", (1,)),))
+
+    def test_unknown_workload_set_rejected(self):
+        with pytest.raises(ConfigError, match="workload set"):
+            SweepSpec("x", "t", "d", mechanisms=("fdip",), workload_set="imaginary")
+
+
+class TestGridGeometry:
+    def test_points_are_cartesian_product(self, tiny_scale):
+        spec = SweepSpec(
+            "x", "t", "d",
+            mechanisms=("fdip", "boomerang"),
+            axes=(("llc_latency", "scale"), ("btb_entries", (2048, 8192))),
+        )
+        points = spec.points(tiny_scale)
+        assert len(points) == 2 * 2 * 2  # mechanisms x latencies x btb sizes
+        assert len({p.settings for p in points}) == 4
+
+    def test_shared_knobs_reach_the_baseline(self):
+        spec = SweepSpec(
+            "x", "t", "d",
+            mechanisms=("boomerang",),
+            axes=(("llc_latency", (55,)), ("throttle_blocks", (4,))),
+        )
+        point = spec.points(get_scale("quick"))[0]
+        cfg = point.config()
+        assert cfg.memory.llc_round_trip_override == 55
+        assert cfg.prefetch.throttle_blocks == 4
+        base = point.baseline()
+        # Machine-shaping knob follows; mechanism-local knob does not.
+        assert base.memory.llc_round_trip_override == 55
+        assert base.prefetch.throttle_blocks == make_config("none").prefetch.throttle_blocks
+
+    def test_every_knob_applies_cleanly(self):
+        samples = {
+            "btb_entries": 8192,
+            "llc_latency": 10,
+            "noc_kind": "crossbar",
+            "predictor": "bimodal",
+            "ftq_depth": 16,
+            "predecode_latency": 6,
+            "throttle_blocks": 1,
+            "btb_prefetch_buffer": 8,
+        }
+        assert set(samples) == set(KNOBS)
+        base = make_config("boomerang")
+        for knob, value in samples.items():
+            cfg = KNOBS[knob].apply(base, value)
+            assert isinstance(cfg, SimConfig)
+            assert cfg != base
+
+    def test_job_count_collapses_duplicate_baselines(self, tiny_scale):
+        spec = SweepSpec(
+            "x", "t", "d",
+            mechanisms=("fdip", "boomerang"),
+            axes=(("throttle_blocks", (0, 2)),),
+        )
+        # 4 points x 6 workloads, but all share ONE baseline per workload
+        # (throttle_blocks is mechanism-local): 24 + 6, not 24 + 24.
+        assert spec.job_count(tiny_scale) == 30
+
+
+class TestSweepExecution:
+    def test_run_produces_speedups_and_gmean_rows(self, tiny_scale):
+        spec = SweepSpec(
+            "x", "t", "d",
+            mechanisms=("fdip",),
+            axes=(("llc_latency", (30,)),),
+        )
+        result = spec.run("tiny")
+        assert result.headers == ["workload", "mechanism", "llc_latency", "ipc", "speedup"]
+        assert len(result.rows) == 6 + 1  # per-workload rows + gmean
+        gmean = result.rows[-1]
+        assert gmean[0] == "gmean"
+        assert gmean[-1] > 1.0  # FDIP beats no-prefetch
+        for row in result.rows[:-1]:
+            assert row[1] == "fdip" and row[2] == 30
+            assert 0 < row[3] <= 3  # IPC within the 3-wide machine
+
+
+class TestSweepCLI:
+    def test_list_and_show_run_cleanly(self, capsys):
+        assert main(["list"]) == 0
+        assert main(["show", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "dense-latency-btb" in out
+        assert "fdip, boomerang" in out
+
+    def test_run_unknown_sweep_fails_cleanly_with_known_names(self, capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "known sweeps" in err and "smoke" in err
+
+    def test_run_stale_backend_fails_cleanly(self, capsys, monkeypatch):
+        from repro.runtime import runner
+
+        monkeypatch.setattr(runner, "_RUNTIME", None)
+        assert main(["run", "smoke", "--backend", "slurm"]) == 2
+        assert "valid backends" in capsys.readouterr().err
