@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments.sweeps run  <name> [--scale S]
         [--workload-set W] [--jobs N] [--cache-dir D] [--backend B]
         [--no-table]
+    python -m repro.experiments.sweeps run --resume <manifest>
+        [--jobs N] [--cache-dir D] [--backend B] [--no-table]
 
 ``run`` executes the named grid through the shared experiment runtime —
 ``--jobs``/``--cache-dir``/``--backend`` configure it exactly like
@@ -15,18 +17,32 @@ sweep fans out over a process pool or the distributed broker the same
 way the figure modules do. The closing summary line reports unique jobs,
 simulations actually executed, disk hits, wall time and the backend's
 telemetry (for the broker: per-worker job counts, queue waits, retries).
+
+With a cache directory configured, ``run`` first writes a **manifest**
+(the resolved cell list — see :mod:`repro.experiments.sweeps.manifest`)
+under ``<cache-dir>/manifests/`` and prints its path. If the run is
+interrupted, ``run --resume <manifest>`` diffs that manifest against the
+cache (loose records and compacted shards alike) and submits *only* the
+missing cells; the finished table is bit-identical to an uninterrupted
+run. Scale and workload set come from the manifest — passing ``--scale``
+or ``--workload-set`` alongside ``--resume`` is an error, and a manifest
+whose grid no longer matches the current sweep definition is refused.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from pathlib import Path
 
 from ...errors import ConfigError
 from ...runtime import backend_summary, configure_runtime, get_runtime
+from ...runtime.cache import SCHEMA_TAG
 from ..common import get_scale
 from . import SWEEPS, _axes_summary, get_sweep
+from .manifest import load_manifest, missing_cells, verify_matches_spec, write_manifest
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -56,12 +72,27 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.resume:
+        return _cmd_resume(args)
+    if args.name is None:
+        print("a sweep name (or --resume MANIFEST) is required", file=sys.stderr)
+        return 2
     spec = get_sweep(args.name)
-    # Count the grid once, up front — recompiling 100s of configs (and
-    # their SHA digests) after the run just for the summary is waste.
-    unique_jobs = spec.job_count(get_scale(args.scale), args.workload_set)
     if args.jobs is not None or args.cache_dir is not None or args.backend is not None:
         configure_runtime(jobs=args.jobs, cache_dir=args.cache_dir, backend=args.backend)
+    runtime = get_runtime()
+    if runtime.cache_dir is not None:
+        # The resolved grid, persisted before anything executes: an
+        # interrupted run finishes with `run --resume <this file>`.
+        manifest = write_manifest(
+            runtime.cache_dir, spec, args.scale, args.workload_set
+        )
+        unique_jobs = len(manifest.cells)
+        print(f"[manifest: {manifest.path} — finish an interrupted run with --resume]")
+    else:
+        # Count the grid once, up front — recompiling 100s of configs (and
+        # their SHA digests) after the run just for the summary is waste.
+        unique_jobs = spec.job_count(get_scale(args.scale), args.workload_set)
     started = time.time()
     result = spec.run(args.scale, args.workload_set)
     elapsed = time.time() - started
@@ -73,6 +104,64 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"[sweep {spec.name}: {unique_jobs} "
         f"unique jobs, {runtime.executed} simulated, {hits} disk hits, "
         f"{elapsed:.1f}s, {backend_summary(runtime)}]"
+    )
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    if args.name is not None or args.scale or args.workload_set:
+        print(
+            "--resume takes the sweep, scale and workload set from the "
+            "manifest; drop the extra arguments",
+            file=sys.stderr,
+        )
+        return 2
+    manifest = load_manifest(args.resume)
+    spec = get_sweep(manifest.sweep)
+    verify_matches_spec(manifest, spec)
+    cache_dir = args.cache_dir
+    if cache_dir is None and not os.environ.get("REPRO_CACHE_DIR"):
+        # The manifest lives inside the cache it belongs to — infer it.
+        parent = Path(args.resume).resolve().parent
+        if parent.name == "manifests":
+            cache_dir = str(parent.parent)
+    configure_runtime(jobs=args.jobs, cache_dir=cache_dir, backend=args.backend)
+    runtime = get_runtime()
+    if runtime.disk is None:
+        print(
+            "resume needs the cache directory the manifest belongs to: "
+            "pass --cache-dir or set REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if manifest.engine_schema != SCHEMA_TAG:
+        print(
+            f"note: manifest was written under engine schema "
+            f"{manifest.engine_schema} (current: {SCHEMA_TAG}); every cell "
+            f"misses the current cache, so the full grid re-runs"
+        )
+    # Probe through a throwaway cache instance so the diff's reads do not
+    # inflate the runtime's hit/miss telemetry in the summary line below.
+    from ...runtime.cache import ResultCache
+
+    missing = missing_cells(manifest, ResultCache(runtime.cache_dir))
+    cached = len(manifest.cells) - len(missing)
+    print(
+        f"[resume {manifest.sweep}: {cached}/{len(manifest.cells)} cells "
+        f"already cached, submitting {len(missing)} missing]"
+    )
+    started = time.time()
+    if missing:
+        runtime.run_many(missing)
+    result = spec.run(manifest.scale, manifest.workload_set)
+    elapsed = time.time() - started
+    if not args.no_table:
+        print(result.to_table())
+    hits = runtime.disk.hits if runtime.disk is not None else 0
+    print(
+        f"[sweep {manifest.sweep}: resumed {len(missing)} of "
+        f"{len(manifest.cells)} unique jobs, {runtime.executed} simulated, "
+        f"{hits} disk hits, {elapsed:.1f}s, {backend_summary(runtime)}]"
     )
     return 0
 
@@ -94,7 +183,12 @@ def main(argv: list[str] | None = None) -> int:
     p_show.set_defaults(func=_cmd_show)
 
     p_run = sub.add_parser("run", help="execute a sweep and print its table")
-    p_run.add_argument("name")
+    p_run.add_argument("name", nargs="?", help="sweep name (omit with --resume)")
+    p_run.add_argument(
+        "--resume",
+        metavar="MANIFEST",
+        help="finish an interrupted run: submit only the manifest's missing cells",
+    )
     p_run.add_argument("--scale", help="quick|default|full (or REPRO_SCALE)")
     p_run.add_argument("--workload-set", help="paper|extended|all (or REPRO_WORKLOAD_SET)")
     p_run.add_argument("--jobs", type=int, help="process-pool width (or REPRO_JOBS)")

@@ -3,9 +3,10 @@
 Public surface:
 
 * :func:`config_digest` — exhaustive hash of a full ``SimConfig`` tree,
-* :class:`ResultCache` — persistent JSON result store (``SCHEMA_TAG``-versioned),
-* :func:`scan_cache` / :func:`prune_cache` — cache lifecycle (also the
-  ``python -m repro.runtime list|prune`` CLI),
+* :class:`ResultCache` — persistent JSON result store (``SCHEMA_TAG``-versioned,
+  reading transparently from loose records and compacted shards),
+* :func:`scan_cache` / :func:`prune_cache` / :func:`compact_cache` — cache
+  lifecycle (also the ``python -m repro.runtime list|prune|compact`` CLI),
 * :class:`SimJob` / :class:`ExperimentRuntime` — batched execution,
 * :class:`ExecutorBackend` and the ``serial`` / ``pool`` / ``broker``
   backends (:data:`BACKEND_NAMES`, selected via ``REPRO_BACKEND``),
@@ -32,10 +33,12 @@ from .runner import (
     SimJob,
     backend_summary,
     configure_runtime,
+    estimate_job_cost,
     execute_job,
     get_runtime,
     resolve_options,
 )
+from .shards import WorkloadCompaction, compact_cache
 
 __all__ = [
     "BACKEND_NAMES",
@@ -50,10 +53,13 @@ __all__ = [
     "RuntimeOptions",
     "SerialBackend",
     "SimJob",
+    "WorkloadCompaction",
     "backend_summary",
     "canonicalize",
+    "compact_cache",
     "config_digest",
     "configure_runtime",
+    "estimate_job_cost",
     "execute_job",
     "get_runtime",
     "make_backend",

@@ -10,10 +10,21 @@ worker can never corrupt the queue.
 Queue layout::
 
     <cache-dir>/queue/
-      pending/<job-id>__a<N>.json    # runnable; N = execution attempts so far
-      claimed/<job-id>__a<N>.json    # leased by one worker (mtime = heartbeat)
-      done/<job-id>.json             # result + per-job telemetry record
-      failed/<job-id>.json           # terminal error after the retry cap
+      pending/<job-id>__w<COST>__a<N>.json  # runnable; N = attempts so far
+      claimed/<job-id>__w<COST>__a<N>.json  # leased (mtime = heartbeat)
+      done/<job-id>.json                    # result + per-job telemetry
+      failed/<job-id>.json                  # terminal error after retry cap
+
+``COST`` is the job's deterministic cost estimate (trace length × LLC
+cycle budget, :func:`~repro.runtime.runner.estimate_job_cost`), recorded
+both in the payload and in the filename — as a weight token ``__w``,
+whose letter can never occur inside the job id's hex digest — so the
+**longest-first scheduler** can order claims from one ``listdir``:
+stragglers start first and tail latency drops. Jobs without an estimate
+(and pre-scheduler queue files, which have no ``__w`` token) fall back to
+FIFO order after every costed job; ``scheduler="fifo"``
+(``REPRO_BROKER_SCHEDULER=fifo``) disables the ordering entirely for A/B
+timing.
 
 Job lifecycle:
 
@@ -61,6 +72,7 @@ from ..core.results import SimulationResult
 from ..errors import BrokerError
 from .cache import SCHEMA_TAG, ResultCache
 from .confighash import canonicalize, config_digest
+from .faultpoints import maybe_fault
 
 #: Queue record format version (independent of the engine schema tag).
 BROKER_SCHEMA = "broker-v1"
@@ -69,6 +81,11 @@ BROKER_SCHEMA = "broker-v1"
 DEFAULT_LEASE_SECONDS = 300.0
 DEFAULT_MAX_ATTEMPTS = 3
 DEFAULT_POLL_SECONDS = 0.2
+
+#: Claim-ordering policies (``REPRO_BROKER_SCHEDULER``): ``longest`` starts
+#: the most expensive pending job first, ``fifo`` preserves name order.
+SCHEDULERS: tuple[str, ...] = ("longest", "fifo")
+DEFAULT_SCHEDULER = "longest"
 
 
 def default_worker_id() -> str:
@@ -141,6 +158,8 @@ def config_from_canonical(obj: object) -> object:
 
 def job_spec(job) -> dict:
     """The JSON job description a worker needs to execute ``job``."""
+    from .runner import estimate_job_cost
+
     workload, scale_tok, digest = job.key
     return {
         "schema": BROKER_SCHEMA,
@@ -149,6 +168,7 @@ def job_spec(job) -> dict:
         "scale": scale_tok,
         "config": canonicalize(job.config),
         "digest": digest,
+        "cost": estimate_job_cost(job),
         "enqueued_at": time.time(),
     }
 
@@ -192,13 +212,29 @@ class ClaimedJob:
     claimed_at: float
 
 
-def _split_attempts(filename: str) -> tuple[str, int] | None:
-    """``<job-id>__a<N>.json`` → (job id, N); ``None`` for foreign files."""
+def _job_filename(job_id: str, cost: int | None, attempts: int) -> str:
+    """The queue filename carrying a job's id, cost estimate and attempts."""
+    cost_part = f"__w{cost}" if cost is not None else ""
+    return f"{job_id}{cost_part}__a{attempts}.json"
+
+
+def _parse_job_name(filename: str) -> tuple[str, int | None, int] | None:
+    """``<job-id>[__w<COST>]__a<N>.json`` → (job id, cost, N).
+
+    ``None`` for temp files and foreign clutter. The cost (weight) token
+    is optional so pre-scheduler queue files (and jobs without an
+    estimate) still parse — they read as cost ``None``, the FIFO-fallback
+    bucket. ``w`` is not a hex digit, so the token can never be confused
+    with the tail of the job id's config-digest segment.
+    """
     stem = filename[: -len(".json")]
     job_id, sep, attempts = stem.rpartition("__a")
     if not sep or not attempts.isdigit():
         return None
-    return job_id, int(attempts)
+    head, sep, cost = job_id.rpartition("__w")
+    if sep and cost.isdigit():
+        return head, int(cost), int(attempts)
+    return job_id, None, int(attempts)
 
 
 class BrokerQueue:
@@ -209,11 +245,19 @@ class BrokerQueue:
         cache_dir: str | os.PathLike,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        scheduler: str = DEFAULT_SCHEDULER,
     ):
         if lease_seconds <= 0:
             raise BrokerError("lease_seconds must be positive")
         if max_attempts < 1:
             raise BrokerError("max_attempts must be >= 1")
+        if scheduler not in SCHEDULERS:
+            valid = ", ".join(SCHEDULERS)
+            raise BrokerError(
+                f"unknown broker scheduler {scheduler!r}; valid schedulers: "
+                f"{valid} (set REPRO_BROKER_SCHEDULER)"
+            )
+        self.scheduler = scheduler
         self.root = Path(cache_dir) / "queue"
         self.pending = self.root / "pending"
         self.claimed = self.root / "claimed"
@@ -246,7 +290,9 @@ class BrokerQueue:
         # A leftover terminal failure from an earlier batch must not poison
         # this (fresh) submission: clear it and start over at attempt 0.
         (self.failed / f"{job_id}.json").unlink(missing_ok=True)
-        _atomic_write_json(self.pending / f"{job_id}__a0.json", job_spec(job))
+        spec = job_spec(job)
+        name = _job_filename(job_id, spec.get("cost"), 0)
+        _atomic_write_json(self.pending / name, spec)
         return job_id
 
     def _visible(self, job_id: str) -> bool:
@@ -258,7 +304,6 @@ class BrokerQueue:
         it is deleted here and reported not-visible, letting the caller
         enqueue a fresh current-schema spec instead.
         """
-        prefix = f"{job_id}__a"
         visible = False
         for directory in (self.pending, self.claimed):
             try:
@@ -266,7 +311,10 @@ class BrokerQueue:
             except OSError:
                 continue
             for name in names:
-                if not name.startswith(prefix):
+                if not name.endswith(".json"):
+                    continue
+                parsed = _parse_job_name(name)
+                if parsed is None or parsed[0] != job_id:
                     continue
                 if directory is self.pending:
                     spec = _read_json(directory / name)
@@ -281,23 +329,44 @@ class BrokerQueue:
 
     # --------------------------------------------------------------- claim
 
+    def _claim_order(self, names: list[str]) -> list[tuple[str, str, int | None, int]]:
+        """Parsed pending candidates in the scheduler's claim order.
+
+        ``longest`` sorts by estimated cost, descending, so the slowest
+        jobs — the ones that would otherwise anchor the batch's tail —
+        start first. Jobs without a cost estimate (and pre-scheduler
+        files) come after every costed job, in name order: the FIFO
+        fallback. ``fifo`` is name order outright, for A/B timing.
+        """
+        candidates = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            parsed = _parse_job_name(name)
+            if parsed is None:
+                continue  # temp file or foreign clutter, not a job
+            candidates.append((name, *parsed))
+        if self.scheduler == "longest":
+            candidates.sort(key=lambda c: (c[2] is None, -(c[2] or 0), c[0]))
+        else:
+            candidates.sort(key=lambda c: c[0])
+        return candidates
+
     def claim(self, worker_id: str | None = None) -> ClaimedJob | None:
         """Steal one pending job, or ``None`` when the queue is empty.
 
-        The ``os.rename(pending/X, claimed/X)`` either succeeds — this
-        process now exclusively owns the job — or raises because another
-        stealer won the race, in which case the next candidate is tried.
+        Candidates are tried in the scheduler's order (longest-first by
+        default — see :meth:`_claim_order`). The ``os.rename(pending/X,
+        claimed/X)`` either succeeds — this process now exclusively owns
+        the job — or raises because another stealer won the race, in
+        which case the next candidate is tried.
         """
         self._ensure_dirs()
         try:
-            names = sorted(os.listdir(self.pending))
+            names = os.listdir(self.pending)
         except OSError:
             return None
-        for name in names:
-            parsed = name.endswith(".json") and _split_attempts(name)
-            if not parsed:
-                continue  # temp file or foreign clutter, not a job
-            job_id, attempts = parsed
+        for name, job_id, _cost, attempts in self._claim_order(names):
             src = self.pending / name
             dst = self.claimed / name
             now = time.time()
@@ -380,7 +449,8 @@ class BrokerQueue:
             return False
         spec = dict(claimed.spec)
         spec["last_error"] = error
-        _atomic_write_json(self.pending / f"{claimed.job_id}__a{attempts}.json", spec)
+        name = _job_filename(claimed.job_id, spec.get("cost"), attempts)
+        _atomic_write_json(self.pending / name, spec)
         claimed.path.unlink(missing_ok=True)
         return True
 
@@ -414,10 +484,10 @@ class BrokerQueue:
             return 0
         now = time.time()
         for name in names:
-            parsed = name.endswith(".json") and _split_attempts(name)
+            parsed = name.endswith(".json") and _parse_job_name(name)
             if not parsed:
                 continue  # temp file or foreign clutter, not a job
-            job_id, attempts = parsed
+            job_id, cost, attempts = parsed
             path = self.claimed / name
             if self.read_done(job_id) is not None:
                 # Completed but the worker died before releasing its claim.
@@ -441,7 +511,9 @@ class BrokerQueue:
                 recovered += 1
                 continue
             try:
-                os.rename(path, self.pending / f"{job_id}__a{next_attempts}.json")
+                os.rename(
+                    path, self.pending / _job_filename(job_id, cost, next_attempts)
+                )
             except OSError:
                 continue  # another participant recovered it first
             recovered += 1
@@ -567,6 +639,7 @@ def broker_env_options() -> dict:
         "max_attempts": max_attempts,
         "timeout": _env_float("REPRO_BROKER_TIMEOUT", None),
         "steal": os.environ.get("REPRO_BROKER_STEAL", "1") not in ("0", "false", "no"),
+        "scheduler": os.environ.get("REPRO_BROKER_SCHEDULER") or DEFAULT_SCHEDULER,
     }
 
 
@@ -591,8 +664,9 @@ class BrokerBackend:
         timeout: float | None = None,
         poll_seconds: float = DEFAULT_POLL_SECONDS,
         worker_id: str | None = None,
+        scheduler: str = DEFAULT_SCHEDULER,
     ):
-        self.queue = BrokerQueue(cache_dir, lease_seconds, max_attempts)
+        self.queue = BrokerQueue(cache_dir, lease_seconds, max_attempts, scheduler)
         self.cache = ResultCache(cache_dir)
         self.steal = steal
         self.timeout = timeout
@@ -675,6 +749,9 @@ class BrokerBackend:
                 sum(r["queue_wait_s"] for r in records), 3
             ),
             "broker_run_s": round(sum(r["run_s"] for r in records), 3),
+            "broker_longest_job_s": round(
+                max(r["run_s"] for r in records), 3
+            ),
             "broker_retries": sum(r["attempts"] - 1 for r in records),
         }
 
@@ -709,6 +786,7 @@ def run_worker(
         cache_dir,
         lease_seconds if lease_seconds is not None else env["lease_seconds"],
         max_attempts if max_attempts is not None else env["max_attempts"],
+        env["scheduler"],
     )
     cache = ResultCache(cache_dir)
     # Share workload builds with everyone else using this cache dir
@@ -733,6 +811,7 @@ def run_worker(
             time.sleep(poll_seconds)
             continue
         idle_since = None
+        maybe_fault("worker-claimed")  # fault harness: die holding the lease
         record = execute_claimed(queue, claimed, cache, me)
         if record is not None:
             completed += 1

@@ -1,11 +1,16 @@
 """Persistent on-disk cache of simulation results.
 
-Layout (all JSON, one file per run)::
+Layout (all JSON)::
 
     <cache_dir>/
       <SCHEMA_TAG>/                 # e.g. "engine-v1" — bumped on any change
         <workload>/                 #     to engine semantics or counters
-          s<scale>__<hash16>.json   # scale token + config-digest prefix
+          s<scale>__<hash16>.json   # loose record: scale token + digest prefix
+          shard.jsonl               # compacted records (repro.runtime.shards)
+
+Writes always produce loose one-record files; ``python -m repro.runtime
+compact`` folds them into the per-workload shard, and reads resolve
+transparently from either layout (loose first — it is newer).
 
 Each record stores the *full* config digest, so a (vanishingly unlikely)
 filename-prefix collision is detected and treated as a miss rather than
@@ -67,17 +72,45 @@ _NAME_DIGEST_CHARS = 16
 
 
 class ResultCache:
-    """Directory-backed store of :class:`SimulationResult` records."""
+    """Directory-backed store of :class:`SimulationResult` records.
+
+    Reads are transparent across both on-disk layouts: the loose
+    one-file-per-record form that :meth:`put` writes, and the per-workload
+    shard files that ``python -m repro.runtime compact``
+    (:mod:`repro.runtime.shards`) folds them into. Loose records win on a
+    key present in both (they are newer), though both copies are
+    content-addressed and therefore identical in practice.
+    """
 
     def __init__(self, cache_dir: str | os.PathLike):
         self.root = Path(cache_dir) / SCHEMA_TAG
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Per-workload shard index, keyed by the shard file's (mtime_ns,
+        #: size) signature so a concurrent compaction is picked up.
+        self._shard_index: dict[str, tuple[tuple[int, int], dict]] = {}
 
     def _path(self, workload: str, scale_tok: str, digest: str) -> Path:
         name = f"s{scale_tok}__{digest[:_NAME_DIGEST_CHARS]}.json"
         return self.root / workload / name
+
+    def _shard_lookup(self, workload: str, scale_tok: str, digest: str) -> dict | None:
+        """The shard record for this key, if the workload has a shard."""
+        from .shards import read_shard, shard_path
+
+        path = shard_path(self.root / workload)
+        try:
+            st = path.stat()
+        except OSError:
+            self._shard_index.pop(workload, None)
+            return None
+        signature = (st.st_mtime_ns, st.st_size)
+        cached = self._shard_index.get(workload)
+        if cached is None or cached[0] != signature:
+            cached = (signature, read_shard(path))
+            self._shard_index[workload] = cached
+        return cached[1].get((scale_tok, digest))
 
     def get(
         self, workload: str, scale_tok: str, digest: str
@@ -87,6 +120,8 @@ class ResultCache:
         try:
             record = json.loads(path.read_text())
         except (OSError, ValueError):
+            record = self._shard_lookup(workload, scale_tok, digest)
+        if record is None:
             self.misses += 1
             return None
         if (
@@ -151,16 +186,31 @@ class ResultCache:
 #: at something else entirely) can never touch foreign data.
 _TAG_DIR_RE = re.compile(r"^engine-v\d+-[0-9a-f]{12}$")
 
+#: Shape of a loose record filename (what :meth:`ResultCache.put` writes);
+#: used by ``scan_cache`` to spot shard entries shadowed by a loose copy.
+_LOOSE_NAME_RE = re.compile(
+    rf"^s(?P<scale>.+)__(?P<digest>[0-9a-f]{{{_NAME_DIGEST_CHARS}}})\.json$"
+)
+
 
 @dataclass(frozen=True)
 class CacheTagInfo:
     """Aggregate of one schema-tag directory inside a cache dir."""
 
     tag: str
+    #: Unique readable records: loose files plus unshadowed shard entries.
+    #: A key overwritten after compaction briefly exists in both layouts
+    #: (the loose copy wins on read), and is counted once — so the count
+    #: is invariant across ``compact``, whatever the layout.
     records: int
     size_bytes: int
     #: True when the tag matches the running code's :data:`SCHEMA_TAG`.
     current: bool
+    #: Breakdown by on-disk layout (shadowed shard entries not included).
+    loose_records: int = 0
+    shard_records: int = 0
+    #: Per-workload shard files under this tag.
+    shard_files: int = 0
 
 
 def scan_cache(cache_dir: str | os.PathLike) -> list[CacheTagInfo]:
@@ -171,6 +221,8 @@ def scan_cache(cache_dir: str | os.PathLike) -> list[CacheTagInfo]:
     sort current-first then by name, so a stale-tag listing reads off
     the top of the output. A missing directory is an empty cache.
     """
+    from .shards import SHARD_NAME, read_shard
+
     root = Path(cache_dir)
     infos: list[CacheTagInfo] = []
     if not root.is_dir():
@@ -178,20 +230,49 @@ def scan_cache(cache_dir: str | os.PathLike) -> list[CacheTagInfo]:
     for tag_dir in sorted(
         p for p in root.iterdir() if p.is_dir() and _TAG_DIR_RE.match(p.name)
     ):
-        records = 0
+        loose = 0
+        shard_files = 0
+        shard_records = 0
         size = 0
-        for path in tag_dir.rglob("*.json"):
-            records += 1
+        # Loose keys per workload dir, so shard entries a newer loose
+        # record shadows (same scale + digest prefix) are not re-counted.
+        loose_keys: dict[Path, set[tuple[str, str]]] = {}
+        shards: list[Path] = []
+        for path in tag_dir.rglob("*"):
+            if not path.is_file():
+                continue
+            if path.name == SHARD_NAME:
+                shards.append(path)
+            elif path.suffix == ".json":
+                loose += 1
+                match = _LOOSE_NAME_RE.match(path.name)
+                if match:
+                    loose_keys.setdefault(path.parent, set()).add(
+                        (match.group("scale"), match.group("digest"))
+                    )
+            else:
+                continue  # temp files and foreign clutter are not records
             try:
                 size += path.stat().st_size
             except OSError:
                 pass
+        for path in shards:
+            shard_files += 1
+            shadow = loose_keys.get(path.parent, set())
+            shard_records += sum(
+                1
+                for scale, digest in read_shard(path)
+                if (scale, digest[:_NAME_DIGEST_CHARS]) not in shadow
+            )
         infos.append(
             CacheTagInfo(
                 tag=tag_dir.name,
-                records=records,
+                records=loose + shard_records,
                 size_bytes=size,
                 current=tag_dir.name == SCHEMA_TAG,
+                loose_records=loose,
+                shard_records=shard_records,
+                shard_files=shard_files,
             )
         )
     infos.sort(key=lambda i: (not i.current, i.tag))

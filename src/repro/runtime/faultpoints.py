@@ -1,0 +1,58 @@
+"""Deterministic crash injection for the fault-tolerance test harness.
+
+The broker and the shard compactor survive workers being SIGKILLed at
+arbitrary moments — but "arbitrary" is untestable. This module gives the
+test harness (``tests/faultinject.py``) *named* crash points: set
+
+    REPRO_FAULTPOINTS="worker-claimed:1,shard-entry:10"
+
+in a subprocess's environment and the Nth time that process passes the
+named point it SIGKILLs itself — no cleanup handlers, no ``atexit``, no
+flushing, exactly the state a power cut or an OOM kill leaves behind.
+
+Production runs never set the variable, so the cost of a fault point is
+one environment lookup. Points currently wired in:
+
+``worker-claimed``
+    ``run_worker`` just claimed a job (the lease is held, nothing ran).
+``shard-entry``
+    the shard rewriter has written N entries to its temp file (the
+    rename has not happened; the live shard must stay untouched).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+#: Per-process pass counts for each named point.
+_hits: dict[str, int] = {}
+
+
+def _parse(spec: str) -> dict[str, int]:
+    targets: dict[str, int] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, count = part.partition(":")
+        targets[name] = int(count) if count.isdigit() else 1
+    return targets
+
+
+def maybe_fault(point: str) -> None:
+    """SIGKILL this process if ``point`` has now been hit its target count.
+
+    A no-op (one env lookup) unless ``REPRO_FAULTPOINTS`` names ``point``.
+    SIGKILL — not ``sys.exit`` — because the entire contract under test is
+    that *nothing* gets a chance to clean up.
+    """
+    spec = os.environ.get("REPRO_FAULTPOINTS")
+    if not spec:
+        return
+    targets = _parse(spec)
+    if point not in targets:
+        return
+    _hits[point] = _hits.get(point, 0) + 1
+    if _hits[point] >= targets[point]:
+        os.kill(os.getpid(), signal.SIGKILL)

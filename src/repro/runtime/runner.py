@@ -77,6 +77,29 @@ def execute_job(job: SimJob) -> SimulationResult:
     return Simulator(workload, job.config).run()
 
 
+def estimate_job_cost(job: SimJob) -> int | None:
+    """Relative cost estimate: scaled trace length × LLC cycle budget.
+
+    Simulation wall time is dominated by how many trace instructions run
+    and how many stall cycles each one drags in, and the LLC round trip is
+    the dominant stall term — so the product ranks jobs well enough for
+    the broker's longest-first scheduler without executing anything. The
+    estimate is deterministic (profile table + config only, no I/O) and
+    dimensionless; only its *ordering* matters. ``None`` — the scheduler's
+    FIFO fallback — is returned for a workload the profile table does not
+    know, rather than guessing a rank for a job that will fail anyway.
+    """
+    from ..workloads.profiles import get_profile
+
+    try:
+        profile = get_profile(job.workload)
+    except ConfigError:
+        return None
+    if job.workload_scale != 1.0:
+        profile = profile.scaled(job.workload_scale)
+    return profile.default_trace_instrs * max(1, job.config.memory.llc_round_trip)
+
+
 # ---------------------------------------------------------------------------
 # Option resolution (the single precedence point)
 # ---------------------------------------------------------------------------
@@ -252,7 +275,7 @@ class ExperimentRuntime:
                 for worker, count in value.items():
                     workers[worker] = workers.get(worker, 0) + count
             elif isinstance(value, (int, float)) and not isinstance(value, bool):
-                if key == "pool_workers":
+                if key in ("pool_workers", "broker_longest_job_s"):
                     merged[key] = max(merged.get(key, 0), value)
                 else:
                     merged[key] = round(merged.get(key, 0) + value, 6)

@@ -1,0 +1,237 @@
+"""Result-cache compaction: fold loose records into per-workload shards.
+
+A dense sweep leaves the result cache as thousands of tiny one-record
+JSON files that ``scan_cache``/``prune`` must stat one by one. Compaction
+folds every completed loose record of a workload into one append-only
+shard file::
+
+    <cache_dir>/<SCHEMA_TAG>/<workload>/shard.jsonl
+
+Each shard line is one record with exactly the flat-cache JSON shape
+(schema tag, workload, scale token, full config digest, mechanism, raw
+counters), keyed inside the shard by ``(scale, config_digest)`` — the
+same content-addressed key the loose filenames encode. The
+:class:`~repro.runtime.cache.ResultCache` reads transparently from the
+shard *and* any loose records written since the last compaction, so old
+caches keep working and compaction can run at any time.
+
+Crash safety: a shard is only ever produced by **atomic rewrite** — the
+merged record set is written to a temp file, fsynced, and ``os.replace``d
+over the shard, so no reader can observe a torn shard. Loose records are
+unlinked only *after* the rename; a compactor killed at any instant
+therefore loses nothing (the worst case is records present in both the
+shard and loose form, which the next compaction folds again — they are
+content-addressed, so both copies are identical). A shard line that does
+not parse (foreign truncation, disk corruption) is skipped by every
+reader, never an error.
+
+Only the running code's current :data:`~repro.runtime.cache.SCHEMA_TAG`
+directory is compacted — records under stale tags are unreachable and are
+``prune``'s business, not worth rewriting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+try:  # POSIX-only; without it compaction simply runs unserialized
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+from .cache import SCHEMA_TAG
+from .faultpoints import maybe_fault
+
+#: Shard filename inside a workload directory. Deliberately *not* matching
+#: the loose ``*.json`` pattern, so file-count scans never double-count.
+SHARD_NAME = "shard.jsonl"
+
+#: Key of one record inside a shard: (scale token, full config digest).
+ShardKey = tuple[str, str]
+
+
+def shard_path(workload_dir: Path) -> Path:
+    return workload_dir / SHARD_NAME
+
+
+def read_shard(path: Path) -> dict[ShardKey, dict]:
+    """Every valid record in the shard, keyed by (scale, digest).
+
+    A missing shard is empty. A line that is not a complete JSON record
+    carrying both key fields — a torn write from a crashed foreign tool,
+    corruption — is skipped, so torn data can never surface as a result.
+    Later lines win on a duplicate key (append-order semantics), though
+    duplicates are content-addressed and therefore identical in practice.
+    """
+    entries: dict[ShardKey, dict] = {}
+    try:
+        with path.open("r") as fh:
+            for line in fh:
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                scale = record.get("scale")
+                digest = record.get("config_digest")
+                if isinstance(scale, str) and isinstance(digest, str):
+                    entries[(scale, digest)] = record
+    except OSError:
+        return {}
+    return entries
+
+
+def write_shard(path: Path, records: list[dict]) -> None:
+    """Atomically (re)write a shard: temp file + fsync + ``os.replace``.
+
+    The live shard is untouched until the final rename, so a crash at any
+    point — including mid-write, which the ``shard-entry`` fault point
+    simulates — leaves only an ignorable ``*.tmp`` file behind.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            for record in records:
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+                maybe_fault("shard-entry")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+
+
+# ---------------------------------------------------------------------------
+# Compaction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadCompaction:
+    """What one workload directory's compaction did (or would do)."""
+
+    workload: str
+    #: Loose records folded into the shard this pass.
+    loose_folded: int
+    #: Loose files skipped because they did not parse as records.
+    skipped: int
+    #: Shard entries before / after the fold.
+    entries_before: int
+    entries_after: int
+    #: On-disk file count before / after (loose + shard + unparseable).
+    files_before: int
+    files_after: int
+    #: True when another compactor held this workload's lock and the
+    #: fold was skipped (nothing was read or written).
+    skipped_locked: bool = False
+
+
+def _parse_loose(path: Path) -> dict | None:
+    """A loose record, or ``None`` for anything that is not one."""
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    if not isinstance(record.get("scale"), str):
+        return None
+    if not isinstance(record.get("config_digest"), str):
+        return None
+    if not isinstance(record.get("raw"), dict):
+        return None
+    return record
+
+
+def compact_workload(workload_dir: Path, dry_run: bool = False) -> WorkloadCompaction:
+    """Fold one workload directory's loose records into its shard.
+
+    Concurrent compactors are serialized per workload through an advisory
+    ``flock`` on ``.compact.lock`` — without it, a compactor holding a
+    pre-rewrite shard snapshot could replace a peer's fresh shard and
+    lose the records whose loose copies the peer already unlinked. The
+    kernel releases the lock when the holder dies (SIGKILL included), so
+    a crashed compactor can never wedge the directory; a contended
+    workload is simply skipped this pass (``skipped_locked``). Dry runs
+    are read-only and take no lock.
+    """
+    if not dry_run and fcntl is not None:
+        lock_fd = os.open(workload_dir / ".compact.lock", os.O_CREAT | os.O_RDWR)
+        try:
+            fcntl.flock(lock_fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(lock_fd)
+            return WorkloadCompaction(
+                workload=workload_dir.name,
+                loose_folded=0,
+                skipped=0,
+                entries_before=0,
+                entries_after=0,
+                files_before=0,
+                files_after=0,
+                skipped_locked=True,
+            )
+    else:
+        lock_fd = None
+    try:
+        spath = shard_path(workload_dir)
+        existing = read_shard(spath)
+        shard_exists = spath.is_file()
+        loose: dict[ShardKey, dict] = {}
+        folded_files: list[Path] = []
+        skipped = 0
+        for path in sorted(workload_dir.glob("*.json")):
+            record = _parse_loose(path)
+            if record is None:
+                skipped += 1  # not a record; left in place, never deleted
+                continue
+            loose[(record["scale"], record["config_digest"])] = record
+            folded_files.append(path)
+        merged = {**existing, **loose}
+        files_before = len(folded_files) + skipped + (1 if shard_exists else 0)
+        files_after = skipped + (1 if (merged or shard_exists) else 0)
+        if loose and not dry_run:
+            write_shard(spath, [merged[key] for key in sorted(merged)])
+            for path in folded_files:
+                path.unlink(missing_ok=True)
+        return WorkloadCompaction(
+            workload=workload_dir.name,
+            loose_folded=len(folded_files),
+            skipped=skipped,
+            entries_before=len(existing),
+            entries_after=len(merged),
+            files_before=files_before,
+            files_after=files_after,
+        )
+    finally:
+        if lock_fd is not None:
+            os.close(lock_fd)  # closing the fd releases the flock
+
+
+def compact_cache(
+    cache_dir: str | os.PathLike, dry_run: bool = False
+) -> list[WorkloadCompaction]:
+    """Compact every workload under the *current* schema tag.
+
+    Stale-tag records are unreachable by the running code and are
+    ``prune``'s to delete, so they are never rewritten. A missing tag
+    directory is an empty (already fully compact) cache. Safe to run
+    while writers are active: only the exact loose files that were folded
+    are removed, and a record written concurrently is simply picked up by
+    the next pass. Concurrent *compactors* are serialized per workload
+    by an advisory lock (see :func:`compact_workload`).
+    """
+    tag_dir = Path(cache_dir) / SCHEMA_TAG
+    stats: list[WorkloadCompaction] = []
+    if not tag_dir.is_dir():
+        return stats
+    for workload_dir in sorted(p for p in tag_dir.iterdir() if p.is_dir()):
+        stats.append(compact_workload(workload_dir, dry_run))
+    return stats

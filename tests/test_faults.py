@@ -1,0 +1,237 @@
+"""Fault-injection suite: SIGKILLed workers and compactors lose nothing.
+
+Every test here kills a *real* subprocess — a broker worker or a shard
+compactor — either deterministically (``REPRO_FAULTPOINTS``) or with an
+external SIGKILL, then asserts the system's crash contracts:
+
+* a killed worker's job is recovered and executed **exactly once**, and
+  the recovered result is bit-identical to an undisturbed run;
+* a killed compactor never corrupts a shard: the cache reads the same
+  records before, during and after the crash, and a later compaction
+  finishes the fold;
+* torn shard data (truncated lines) never surfaces as a result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+import faultinject
+from repro.core.mechanisms import make_config
+from repro.core.results import SimulationResult
+from repro.runtime import SimJob, compact_cache, execute_job, run_worker, scan_cache
+from repro.runtime.broker import BrokerQueue
+from repro.runtime.cache import ResultCache
+from repro.runtime.shards import read_shard, shard_path
+from repro.workloads.workload import reset_trace_store
+
+WL = "streaming"
+SCALE = 0.05
+
+#: SIGKILL'd subprocesses report a negative signal return code.
+KILLED = -signal.SIGKILL
+
+
+@pytest.fixture(autouse=True)
+def _restore_trace_store():
+    """In-process run_worker pins the trace store; undo it per test."""
+    yield
+    reset_trace_store()
+
+
+def _job(llc: int | None = None) -> SimJob:
+    cfg = make_config("none")
+    if llc is not None:
+        cfg = cfg.with_llc_latency(llc)
+    return SimJob(WL, cfg, SCALE)
+
+
+def _backdate(path, seconds: float) -> None:
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+def _drain_in_process(cache_dir) -> int:
+    """A healthy rescuer worker, run in-process for determinism."""
+    return run_worker(
+        cache_dir, worker_id="fi-rescue", drain=True, max_idle=0.2, poll_seconds=0.05
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker crashes mid-lease
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerKilledMidLease:
+    def test_deterministic_kill_after_claim_recovers_exactly_once(self, tmp_path):
+        """The worker dies the instant it owns the lease: nothing ran, the
+        claim file is orphaned, and recovery must hand the job to someone
+        else exactly once with a bumped attempt count."""
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        job = _job()
+        job_id = queue.enqueue(job)
+        proc = faultinject.spawn_worker(
+            tmp_path, worker_id="fi-victim", faultpoints="worker-claimed:1"
+        )
+        assert faultinject.wait_exit(proc) == KILLED
+        counts = queue.counts()
+        assert counts["claimed"] == 1 and counts["done"] == 0
+        # The lease is still fresh — a live worker must never be robbed.
+        assert queue.recover_expired() == 0
+        _backdate(next(queue.claimed.glob("*.json")), seconds=60)
+        assert queue.recover_expired() == 1
+        assert _drain_in_process(tmp_path) == 1
+        record = queue.read_done(job_id)
+        assert record is not None
+        assert record["attempts"] == 2  # the victim's claim counted
+        assert record["result"]["raw"] == execute_job(job).raw
+        assert queue.counts() == {"pending": 0, "claimed": 0, "done": 1, "failed": 0}
+
+    def test_external_sigkill_mid_flight_loses_nothing(self, tmp_path):
+        """A worker killed from outside at an arbitrary point (claiming,
+        building the workload, simulating, or just done) must leave the
+        queue recoverable to exactly one correct done record."""
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        job = _job()
+        job_id = queue.enqueue(job)
+        proc = faultinject.spawn_worker(tmp_path, worker_id="fi-victim")
+        faultinject.wait_for(
+            lambda: queue.counts()["claimed"] >= 1 or queue.counts()["done"] >= 1,
+            message="worker to claim the job",
+        )
+        faultinject.sigkill(proc)
+        assert faultinject.wait_exit(proc) == KILLED
+        # Recover whatever state the kill left: an expired lease requeues,
+        # a completed-but-unreleased claim is deleted as a leftover.
+        for path in queue.claimed.glob("*.json"):
+            _backdate(path, seconds=60)
+        queue.recover_expired()
+        _drain_in_process(tmp_path)
+        record = queue.read_done(job_id)
+        assert record is not None
+        assert record["result"]["raw"] == execute_job(job).raw
+        assert queue.counts() == {"pending": 0, "claimed": 0, "done": 1, "failed": 0}
+
+    def test_surviving_worker_finishes_a_killed_peers_batch(self, tmp_path):
+        """Two real workers; one dies holding a lease. The survivor must
+        recover the orphan via the normal lease path and complete every
+        job exactly once — no duplicates, no terminal failures."""
+        queue = BrokerQueue(tmp_path, lease_seconds=2)
+        first = _job()
+        ids = [queue.enqueue(first)]
+        victim = faultinject.spawn_worker(
+            tmp_path,
+            worker_id="fi-victim",
+            faultpoints="worker-claimed:1",
+            lease_seconds=2,
+        )
+        assert faultinject.wait_exit(victim) == KILLED
+        assert queue.counts()["claimed"] == 1
+        ids += [queue.enqueue(_job(llc)) for llc in (15, 45)]
+        survivor = faultinject.spawn_worker(
+            tmp_path,
+            worker_id="fi-survivor",
+            drain=True,
+            max_idle=10,
+            lease_seconds=2,
+        )
+        assert faultinject.wait_exit(survivor) == 0
+        assert queue.counts() == {"pending": 0, "claimed": 0, "done": 3, "failed": 0}
+        for job_id in ids:
+            record = queue.read_done(job_id)
+            assert record is not None
+            assert record["worker"] == "fi-survivor"
+        # The orphaned job carries the victim's attempt; the rest are clean.
+        assert sorted(
+            queue.read_done(job_id)["attempts"] for job_id in ids
+        ) == [1, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Compactor crashes mid-shard-write
+# ---------------------------------------------------------------------------
+
+
+def _digest(i: int) -> str:
+    return f"{i:016x}" + "0" * 48
+
+
+def _populate(cache: ResultCache, start: int, count: int, workload: str = "wl"):
+    for i in range(start, start + count):
+        cache.put(
+            workload,
+            "0.25",
+            _digest(i),
+            SimulationResult(workload, "none", {"cycles": float(i + 1)}),
+        )
+
+
+def _assert_all_readable(cache_dir, count: int, workload: str = "wl"):
+    fresh = ResultCache(cache_dir)
+    for i in range(count):
+        result = fresh.get(workload, "0.25", _digest(i))
+        assert result is not None, f"record {i} lost"
+        assert result.raw == {"cycles": float(i + 1)}
+
+
+class TestCompactionKilledMidWrite:
+    def test_kill_before_first_shard_exists_loses_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _populate(cache, 0, 40)
+        before = scan_cache(tmp_path)[0]
+        proc = faultinject.spawn_compact(tmp_path, faultpoints="shard-entry:7")
+        assert faultinject.wait_exit(proc) == KILLED
+        mid = scan_cache(tmp_path)[0]
+        # The torn temp file is invisible: same records, same layout.
+        assert (mid.records, mid.loose_records, mid.shard_records) == (
+            before.records,
+            40,
+            0,
+        )
+        _assert_all_readable(tmp_path, 40)
+        compact_cache(tmp_path)
+        after = scan_cache(tmp_path)[0]
+        assert (after.records, after.loose_records, after.shard_records) == (40, 0, 40)
+        _assert_all_readable(tmp_path, 40)
+
+    def test_kill_mid_rewrite_never_corrupts_existing_shard(self, tmp_path):
+        """With a live shard already on disk, a crashed rewrite must leave
+        the *old* shard fully intact — the replace never happened."""
+        cache = ResultCache(tmp_path)
+        _populate(cache, 0, 30)
+        compact_cache(tmp_path)
+        _populate(cache, 30, 10)  # new loose records since the last fold
+        proc = faultinject.spawn_compact(tmp_path, faultpoints="shard-entry:15")
+        assert faultinject.wait_exit(proc) == KILLED
+        mid = scan_cache(tmp_path)[0]
+        assert (mid.records, mid.loose_records, mid.shard_records) == (40, 10, 30)
+        _assert_all_readable(tmp_path, 40)
+        spath = shard_path(tmp_path / mid.tag / "wl")
+        assert len(read_shard(spath)) == 30  # old shard untouched
+        compact_cache(tmp_path)
+        _assert_all_readable(tmp_path, 40)
+        assert len(read_shard(spath)) == 40
+
+    def test_torn_shard_line_never_surfaces_and_is_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _populate(cache, 0, 5)
+        compact_cache(tmp_path)
+        tag = scan_cache(tmp_path)[0].tag
+        spath = shard_path(tmp_path / tag / "wl")
+        with spath.open("a") as fh:
+            fh.write('{"schema": "engine-v1-000000000000", "config_d')  # torn
+        assert scan_cache(tmp_path)[0].records == 5  # torn line not a record
+        _assert_all_readable(tmp_path, 5)
+        _populate(cache, 5, 1)
+        compact_cache(tmp_path)  # rewrite drops the torn tail for good
+        lines = spath.read_text().splitlines()
+        assert len(lines) == 6
+        for line in lines:
+            json.loads(line)  # every surviving line is complete
+        _assert_all_readable(tmp_path, 6)

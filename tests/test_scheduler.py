@@ -1,0 +1,161 @@
+"""Broker scheduler: cost estimates, longest-first claim order, FIFO fallback."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.mechanisms import make_config
+from repro.errors import BrokerError
+from repro.runtime import SimJob, estimate_job_cost
+from repro.runtime.broker import (
+    BrokerQueue,
+    broker_env_options,
+    job_spec,
+)
+from repro.runtime import runner as runner_mod
+
+WL = "streaming"
+SCALE = 0.05
+
+
+def _job(llc: int, workload: str = WL, scale: float = SCALE) -> SimJob:
+    return SimJob(workload, make_config("none").with_llc_latency(llc), scale)
+
+
+def _claim_all(queue: BrokerQueue) -> list[str]:
+    order = []
+    while (claimed := queue.claim()) is not None:
+        order.append(claimed.job_id)
+    return order
+
+
+def _backdate(path, seconds: float) -> None:
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+# ---------------------------------------------------------------------------
+# The cost estimate
+# ---------------------------------------------------------------------------
+
+
+class TestCostEstimate:
+    def test_cost_scales_with_trace_length_and_latency(self):
+        base = estimate_job_cost(_job(30))
+        assert isinstance(base, int) and base > 0
+        assert estimate_job_cost(_job(70)) > base  # more stall cycles
+        assert estimate_job_cost(_job(30, scale=0.5)) > base  # longer trace
+
+    def test_unknown_workload_has_no_estimate(self):
+        assert estimate_job_cost(_job(30, workload="no-such-workload")) is None
+
+    def test_cost_recorded_in_job_payload(self):
+        job = _job(30)
+        spec = job_spec(job)
+        assert spec["cost"] == estimate_job_cost(job)
+
+    def test_estimate_is_deterministic(self):
+        job = _job(42)
+        assert estimate_job_cost(job) == estimate_job_cost(job)
+
+
+# ---------------------------------------------------------------------------
+# Claim order (directly against the broker queue)
+# ---------------------------------------------------------------------------
+
+
+class TestLongestFirstClaimOrder:
+    def test_claims_most_expensive_pending_job_first(self, tmp_path):
+        queue = BrokerQueue(tmp_path)
+        jobs = {llc: _job(llc) for llc in (10, 70, 30, 50)}
+        ids = {llc: queue.enqueue(job) for llc, job in jobs.items()}
+        # Cost is trace length x LLC latency, so descending latency is
+        # exactly descending cost here.
+        assert _claim_all(queue) == [ids[70], ids[50], ids[30], ids[10]]
+
+    def test_fifo_scheduler_ignores_costs(self, tmp_path):
+        queue = BrokerQueue(tmp_path, scheduler="fifo")
+        ids = [queue.enqueue(_job(llc)) for llc in (10, 70, 30, 50)]
+        from repro.runtime.broker import _parse_job_name
+
+        names = sorted(os.listdir(queue.pending))
+        expected = [_parse_job_name(name)[0] for name in names]
+        claimed = _claim_all(queue)
+        assert claimed == expected
+        assert sorted(claimed) == sorted(ids)
+
+    def test_fifo_fallback_when_cost_estimates_absent(self, tmp_path, monkeypatch):
+        """Jobs with no estimate (unknown profile, pre-scheduler queue
+        files) must claim in deterministic name order."""
+        monkeypatch.setattr(runner_mod, "estimate_job_cost", lambda job: None)
+        queue = BrokerQueue(tmp_path)
+        ids = [queue.enqueue(_job(llc)) for llc in (40, 20, 60)]
+        # No weight token in any filename: the old naming scheme.
+        for name in os.listdir(queue.pending):
+            assert "__w" not in name
+        assert _claim_all(queue) == sorted(ids)
+
+    def test_costless_jobs_claim_after_every_costed_job(self, tmp_path, monkeypatch):
+        queue = BrokerQueue(tmp_path)
+        costless_ids = []
+
+        def no_estimate(job):
+            return None
+
+        monkeypatch.setattr(runner_mod, "estimate_job_cost", no_estimate)
+        costless_ids = [queue.enqueue(_job(llc)) for llc in (99, 5)]
+        monkeypatch.undo()
+        costed_ids = [queue.enqueue(_job(llc)) for llc in (10, 50)]
+        order = _claim_all(queue)
+        assert order[:2] == [costed_ids[1], costed_ids[0]]  # cost desc
+        assert order[2:] == sorted(costless_ids)  # then FIFO fallback
+
+    def test_lease_recovery_preserves_the_cost_token(self, tmp_path):
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        cheap, dear = _job(10), _job(70)
+        queue.enqueue(dear)
+        claimed = queue.claim()
+        _backdate(claimed.path, seconds=60)
+        assert queue.recover_expired() == 1
+        queue.enqueue(cheap)
+        # The recovered (dear) job must still outrank the cheap one.
+        order = _claim_all(queue)
+        assert order[0] == queue.job_id(dear)
+        assert "__w" in os.listdir(queue.claimed)[0]
+
+    def test_fail_requeue_preserves_the_cost_token(self, tmp_path):
+        queue = BrokerQueue(tmp_path)
+        job = _job(70)
+        queue.enqueue(job)
+        claimed = queue.claim()
+        assert queue.fail(claimed, "boom") is True
+        (name,) = os.listdir(queue.pending)
+        assert "__w" in name and name.endswith("__a1.json")
+        reclaimed = queue.claim()
+        assert reclaimed is not None and reclaimed.attempts == 1
+
+
+# ---------------------------------------------------------------------------
+# Scheduler selection and validation
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulerSelection:
+    def test_default_is_longest_first(self, tmp_path):
+        assert BrokerQueue(tmp_path).scheduler == "longest"
+
+    def test_invalid_scheduler_rejected_with_valid_names(self, tmp_path):
+        with pytest.raises(BrokerError) as err:
+            BrokerQueue(tmp_path, scheduler="shortest")
+        message = str(err.value)
+        assert "longest" in message and "fifo" in message
+        assert "REPRO_BROKER_SCHEDULER" in message
+
+    def test_env_selects_the_scheduler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BROKER_SCHEDULER", "fifo")
+        assert broker_env_options()["scheduler"] == "fifo"
+        monkeypatch.delenv("REPRO_BROKER_SCHEDULER")
+        assert broker_env_options()["scheduler"] == "longest"

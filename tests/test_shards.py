@@ -1,0 +1,257 @@
+"""Shard compaction: round-trip invariants, layout equivalence, CLI.
+
+The load-bearing invariant everywhere: ``scan_cache`` reports the same
+record set before and after any number of interleaved ``compact`` /
+read / ``prune`` / overwrite cycles, and every record remains readable
+with identical content regardless of which layout (flat, sharded, or
+mixed) it currently lives in.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.results import SimulationResult
+from repro.runtime import ExperimentRuntime, compact_cache, prune_cache, scan_cache
+from repro.runtime.cache import SCHEMA_TAG, ResultCache
+from repro.runtime.__main__ import main
+from repro.runtime.shards import read_shard, shard_path
+
+#: A plausible stale tag (same major, different source fingerprint).
+STALE_TAG = "engine-v1-000000000000"
+
+
+def _digest(rng: random.Random) -> str:
+    return "".join(rng.choice("0123456789abcdef") for _ in range(64))
+
+
+def _result(workload: str, value: float) -> SimulationResult:
+    return SimulationResult(workload, "none", {"cycles": value, "retired_instrs": 2 * value})
+
+
+# ---------------------------------------------------------------------------
+# Property-style randomized round trips
+# ---------------------------------------------------------------------------
+
+
+class TestRandomizedRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_interleaved_compact_read_prune_cycles(self, tmp_path, seed):
+        """Seeded random batches of records, with compaction, re-reads,
+        overwrites and stale-tag pruning interleaved: the visible record
+        set must never change except by the puts themselves."""
+        rng = random.Random(seed)
+        workloads = ("alpha", "beta", "gamma")
+        scales = ("0.25", "1.0")
+        cache = ResultCache(tmp_path)
+        expected: dict[tuple[str, str, str], float] = {}
+        for cycle in range(6):
+            # A batch of fresh records, plus occasional overwrites of an
+            # existing key (which compaction must resolve loose-wins).
+            for _ in range(rng.randrange(1, 12)):
+                if expected and rng.random() < 0.2:
+                    key = rng.choice(sorted(expected))
+                    expected[key] += 1000.0
+                else:
+                    key = (rng.choice(workloads), rng.choice(scales), _digest(rng))
+                    expected[key] = float(rng.randrange(1, 10**6))
+                cache.put(key[0], key[1], key[2], _result(key[0], expected[key]))
+            before = sum(i.records for i in scan_cache(tmp_path) if i.current)
+            assert before == len(expected)
+            action = rng.randrange(4)
+            if action == 0:
+                compact_cache(tmp_path)
+            elif action == 1:
+                compact_cache(tmp_path, dry_run=True)
+            elif action == 2:
+                # A stale tag appearing and being pruned is invisible to
+                # the current tag's records.
+                stale = tmp_path / STALE_TAG / "alpha"
+                stale.mkdir(parents=True, exist_ok=True)
+                (stale / "s1.0__0000000000000000.json").write_text("{}")
+                prune_cache(tmp_path)
+            after = sum(i.records for i in scan_cache(tmp_path) if i.current)
+            assert after == len(expected), f"cycle {cycle} changed the record set"
+            # Every record readable with its latest value, via a fresh
+            # cache instance (no warm shard index to hide behind).
+            reader = ResultCache(tmp_path)
+            for (wl, tok, digest), value in expected.items():
+                got = reader.get(wl, tok, digest)
+                assert got is not None, (cycle, wl, digest[:8])
+                assert got.raw["cycles"] == value
+            assert reader.misses == 0
+        # Terminal full compaction: everything sharded, nothing lost.
+        compact_cache(tmp_path)
+        info = next(i for i in scan_cache(tmp_path) if i.current)
+        assert info.loose_records == 0
+        assert info.shard_records == len(expected)
+
+    def test_compact_is_idempotent(self, tmp_path):
+        rng = random.Random(3)
+        cache = ResultCache(tmp_path)
+        for i in range(10):
+            cache.put("wl", "1.0", _digest(rng), _result("wl", float(i)))
+        first = compact_cache(tmp_path)
+        assert sum(s.loose_folded for s in first) == 10
+        second = compact_cache(tmp_path)
+        assert sum(s.loose_folded for s in second) == 0
+        assert all(s.entries_before == s.entries_after for s in second)
+
+    def test_concurrent_compactor_is_locked_out(self, tmp_path):
+        """Two overlapping compactors could otherwise lose records (a
+        stale-snapshot rewrite clobbering a peer's fresh shard after the
+        peer unlinked the loose copies); the per-workload flock makes the
+        second one skip instead."""
+        fcntl = pytest.importorskip("fcntl")
+        rng = random.Random(9)
+        cache = ResultCache(tmp_path)
+        for i in range(6):
+            cache.put("wl", "1.0", _digest(rng), _result("wl", float(i)))
+        wdir = tmp_path / SCHEMA_TAG / "wl"
+        import os
+
+        holder = os.open(wdir / ".compact.lock", os.O_CREAT | os.O_RDWR)
+        try:
+            fcntl.flock(holder, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            (stat,) = compact_cache(tmp_path)
+            assert stat.skipped_locked and stat.loose_folded == 0
+            assert scan_cache(tmp_path)[0].loose_records == 6  # untouched
+        finally:
+            os.close(holder)
+        (stat,) = compact_cache(tmp_path)  # lock released: folds normally
+        assert stat.loose_folded == 6 and not stat.skipped_locked
+        assert scan_cache(tmp_path)[0].shard_records == 6
+
+    def test_dry_run_changes_nothing_on_disk(self, tmp_path):
+        rng = random.Random(4)
+        cache = ResultCache(tmp_path)
+        for i in range(8):
+            cache.put("wl", "1.0", _digest(rng), _result("wl", float(i)))
+        stats = compact_cache(tmp_path, dry_run=True)
+        assert sum(s.loose_folded for s in stats) == 8
+        info = scan_cache(tmp_path)[0]
+        assert info.loose_records == 8 and info.shard_records == 0
+        assert not shard_path(tmp_path / SCHEMA_TAG / "wl").exists()
+
+
+# ---------------------------------------------------------------------------
+# Layout equivalence (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def _fill(cache_dir, keys, base: int = 0) -> None:
+    cache = ResultCache(cache_dir)
+    for i, (wl, tok, digest) in enumerate(keys, start=base):
+        cache.put(wl, tok, digest, _result(wl, float(i + 1)))
+
+
+class TestLayoutEquivalence:
+    def test_flat_sharded_mixed_report_identical_contents(self, tmp_path):
+        rng = random.Random(5)
+        keys = [
+            (wl, "0.25", _digest(rng))
+            for wl in ("alpha", "beta")
+            for _ in range(6)
+        ]
+        flat, sharded, mixed = tmp_path / "flat", tmp_path / "shard", tmp_path / "mix"
+        _fill(flat, keys)
+        _fill(sharded, keys)
+        compact_cache(sharded)
+        _fill(mixed, keys[:6])
+        compact_cache(mixed)
+        _fill(mixed, keys[6:], base=6)  # later records stay loose
+        infos = {d.name: scan_cache(d)[0] for d in (flat, sharded, mixed)}
+        assert [i.records for i in infos.values()] == [12, 12, 12]
+        assert infos["flat"].shard_records == 0
+        assert infos["shard"].loose_records == 0
+        assert infos["mix"].loose_records and infos["mix"].shard_records
+        for d in (flat, sharded, mixed):
+            reader = ResultCache(d)
+            for i, (wl, tok, digest) in enumerate(keys):
+                assert reader.get(wl, tok, digest).raw["cycles"] == float(i + 1)
+
+    def test_prune_reports_shard_records_like_loose_ones(self, tmp_path):
+        """A stale tag's record count must not depend on its layout."""
+        rng = random.Random(6)
+        keys = [("wl", "1.0", _digest(rng)) for _ in range(7)]
+        _fill(tmp_path, keys)
+        compact_cache(tmp_path)
+        # Rename the (sharded) current tag into a stale one.
+        (tmp_path / SCHEMA_TAG).rename(tmp_path / STALE_TAG)
+        removed = prune_cache(tmp_path)
+        assert [(i.tag, i.records) for i in removed] == [(STALE_TAG, 7)]
+        assert not (tmp_path / STALE_TAG).exists()
+
+    def test_compaction_reduces_file_count_10x(self, tmp_path):
+        """A quick sweep's worth of records per workload must fold into
+        one file per workload — a >= 10x file-count drop."""
+        rng = random.Random(7)
+        for wl in ("alpha", "beta"):
+            _fill(tmp_path, [(wl, "0.25", _digest(rng)) for _ in range(20)])
+        stats = compact_cache(tmp_path)
+        files_before = sum(s.files_before for s in stats)
+        files_after = sum(s.files_after for s in stats)
+        assert files_before == 40 and files_after == 2
+        assert files_before / files_after >= 10
+        assert sum(i.records for i in scan_cache(tmp_path)) == 40
+
+    def test_shards_serve_warm_runtime_hits(self, tmp_path):
+        """The real write path: a runtime populates the cache, compaction
+        folds it, and a fresh runtime still resolves everything from disk
+        without simulating."""
+        rt = ExperimentRuntime(cache_dir=tmp_path)
+        from repro.core.mechanisms import make_config
+
+        rt.run_one("streaming", make_config("none"), 0.05)
+        assert rt.executed == 1
+        stats = compact_cache(tmp_path)
+        assert sum(s.loose_folded for s in stats) == 1
+        warm = ExperimentRuntime(cache_dir=tmp_path)
+        warm.run_one("streaming", make_config("none"), 0.05)
+        assert warm.executed == 0
+        assert warm.disk.hits == 1
+
+
+# ---------------------------------------------------------------------------
+# The compact CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCompactCli:
+    def _populate(self, cache_dir, n=12):
+        rng = random.Random(8)
+        _fill(cache_dir, [("wl", "1.0", _digest(rng)) for _ in range(n)])
+
+    def test_compact_output_and_effect(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert main(["compact", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "folded 12 loose record(s)" in out
+        assert "[compact: files 12 -> 1 (12.0x), 12 records]" in out
+        info = scan_cache(tmp_path)[0]
+        assert info.loose_records == 0 and info.shard_records == 12
+
+    def test_dry_run_reports_without_rewriting(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert main(["compact", "--cache-dir", str(tmp_path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would fold 12 loose record(s)" in out
+        assert "dry run" in out
+        assert scan_cache(tmp_path)[0].loose_records == 12
+
+    def test_nothing_to_compact(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        main(["compact", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["compact", "--cache-dir", str(tmp_path)]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
+
+    def test_list_shows_layout_breakdown(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        main(["compact", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["list", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "(0 loose + 12 in 1 shard(s))" in out
