@@ -136,7 +136,7 @@ class TagePredictor(DirectionPredictor):
 
     # -- prediction ---------------------------------------------------------
 
-    def _lookup(self, pc: int):
+    def _lookup(self, pc: int) -> tuple[list[int], list[int], int, int]:
         """Compute (indices, tags, provider, alt) for ``pc`` at current history."""
         indices = []
         tags = []
@@ -231,7 +231,9 @@ class TagePredictor(DirectionPredictor):
             table.shift_history(bit, history_before)
         self.history = ((history_before << 1) | bit) & self._max_hist_mask
 
-    def _allocate(self, indices, tags, provider: int, taken: bool) -> None:
+    def _allocate(
+        self, indices: list[int], tags: list[int], provider: int, taken: bool
+    ) -> None:
         start = provider + 1
         candidates = [
             t for t in range(start, len(self.tables))

@@ -2,13 +2,26 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..workloads.isa import EntryKind
 
+if TYPE_CHECKING:
+    from ..branch.btb import BasicBlockBTB, BTBPrefetchBuffer, ConventionalBTB
+    from ..frontend.ftq import FetchTargetQueue
+    from ..memory.hierarchy import InstructionMemory
+
 
 def aggregate_stage_counters(
-    cycle: int, retired: int, stages, btb, btb_buf, ftq, mem
+    cycle: int,
+    retired: int,
+    stages: Iterable,
+    btb: BasicBlockBTB | ConventionalBTB,
+    btb_buf: BTBPrefetchBuffer,
+    ftq: FetchTargetQueue,
+    mem: InstructionMemory,
 ) -> dict[str, float]:
     """Flatten per-stage counter namespaces into the engine's stats dict.
 

@@ -40,6 +40,8 @@ from .state import (
     IND_CALL,
     IND_JUMP,
     RET,
+    PipelineState,
+    StageContext,
 )
 
 #: Sequential blocks the predecode walk may visit before declaring a bug.
@@ -73,7 +75,7 @@ class BPUStage:
         "wp_cycles",
     )
 
-    def __init__(self, ctx):
+    def __init__(self, ctx: StageContext):
         wl = ctx.workload
         # Hot per-prediction reads go straight at the trace columns: one
         # C-level array index per field, no per-record tuple.
@@ -100,7 +102,7 @@ class BPUStage:
 
     # ------------------------------------------------------------------ tick
 
-    def tick(self, state, cycle):
+    def tick(self, state: PipelineState, cycle: int) -> None:
         if state.wrong_path:
             self.wp_cycles += 1
         if cycle < state.bpu_stall_until:
@@ -115,7 +117,7 @@ class BPUStage:
         elif state.wrong_path:
             self._walk_wrong_path(state, cycle)
 
-    def _advance_miss_probe(self, state, cycle):
+    def _advance_miss_probe(self, state: PipelineState, cycle: int) -> None:
         """Only the miss-probe variant ever arms ``state.bmiss``."""
         raise SimulationError(
             f"BTB miss probe armed without a miss-probe BPU at {state.bmiss[0]:#x}"
@@ -123,7 +125,7 @@ class BPUStage:
 
     # --------------------------------------------------------- correct path
 
-    def _predict(self, state, cycle):
+    def _predict(self, state: PipelineState, cycle: int) -> None:
         idx = state.bpu_idx
         start = self.col_start[idx]
         n_instrs = self.col_ninstr[idx]
@@ -198,7 +200,7 @@ class BPUStage:
 
     # ----------------------------------------------------------- wrong path
 
-    def _walk_wrong_path(self, state, cycle):
+    def _walk_wrong_path(self, state: PipelineState, cycle: int) -> None:
         # Speculative walk over the static CFG.
         wp_pc = state.wp_pc
         blk = self.cfg_blocks.get(wp_pc)
@@ -238,11 +240,18 @@ class BPUStage:
 
     # ----------------------------------------------------- overridable bits
 
-    def _lookup(self, start):
+    def _lookup(self, start: int) -> BTBEntry | None:
         """BTB lookup for one basic-block start."""
         return self.btb.lookup(start)
 
-    def _handle_miss(self, state, cycle, start, n_instrs, taken):
+    def _handle_miss(
+        self,
+        state: PipelineState,
+        cycle: int,
+        start: int,
+        n_instrs: int,
+        taken: int,
+    ) -> None:
         """Correct-path BTB miss: degrade into a sequential run.
 
         If the unknown branch was actually taken the run diverges and the
@@ -269,13 +278,13 @@ class BPUStage:
             )
         )
 
-    def _handle_wp_miss(self, state, cycle, start):
+    def _handle_wp_miss(self, state: PipelineState, cycle: int, start: int) -> bool:
         """Wrong-path BTB miss; returns True if the BPU stalled on it."""
         return False
 
     # -------------------------------------------------------------- helpers
 
-    def _next_block_start(self, pc):
+    def _next_block_start(self, pc: int) -> int | None:
         """Smallest basic-block start strictly greater than ``pc``."""
         starts = self._starts_sorted
         idx = bisect.bisect_right(starts, pc)
@@ -283,7 +292,7 @@ class BPUStage:
             return starts[idx]
         return None
 
-    def counters(self):
+    def counters(self) -> dict[str, int]:
         return {
             "btb_miss_lookups": self.btb_miss_lookups,
             "btb_miss_stall_cycles": self.btb_miss_stall_cycles,
@@ -298,7 +307,7 @@ class MissProbeBPU(BPUStage):
 
     __slots__ = ("mem", "btb_buf", "cfg", "predecode_latency", "throttle_blocks")
 
-    def __init__(self, ctx):
+    def __init__(self, ctx: StageContext):
         super().__init__(ctx)
         self.mem = ctx.mem
         self.btb_buf = ctx.btb_buf
@@ -306,7 +315,7 @@ class MissProbeBPU(BPUStage):
         self.predecode_latency = ctx.config.core.predecode_latency
         self.throttle_blocks = ctx.config.prefetch.throttle_blocks
 
-    def _advance_miss_probe(self, state, cycle):
+    def _advance_miss_probe(self, state: PipelineState, cycle: int) -> None:
         """One cycle of the in-flight BTB-miss probe state machine."""
         self.btb_miss_stall_cycles += 1
         bmiss = state.bmiss
@@ -330,7 +339,7 @@ class MissProbeBPU(BPUStage):
             bmiss[1] += 1
             bmiss[2] = self.mem.data_ready(bmiss[1], cycle) + self.predecode_latency
 
-    def _lookup(self, start):
+    def _lookup(self, start: int) -> BTBEntry | None:
         """BTB lookup that promotes a staged prefetch-buffer entry on miss."""
         entry = self.btb.lookup(start)
         if entry is None:
@@ -340,7 +349,7 @@ class MissProbeBPU(BPUStage):
                 return staged
         return entry
 
-    def _set_bmiss(self, state, cycle, start):
+    def _set_bmiss(self, state: PipelineState, cycle: int, start: int) -> None:
         """Stall the BPU on a miss probe for the block holding ``start``."""
         block = start >> 6
         mem = self.mem
@@ -357,9 +366,16 @@ class MissProbeBPU(BPUStage):
             for off in range(1, throttle + 1):
                 throttle_q.append(block + off)
 
-    def _handle_miss(self, state, cycle, start, n_instrs, taken):
+    def _handle_miss(
+        self,
+        state: PipelineState,
+        cycle: int,
+        start: int,
+        n_instrs: int,
+        taken: int,
+    ) -> None:
         self._set_bmiss(state, cycle, start)
 
-    def _handle_wp_miss(self, state, cycle, start):
+    def _handle_wp_miss(self, state: PipelineState, cycle: int, start: int) -> bool:
         self._set_bmiss(state, cycle, start)
         return True

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from .state import PipelineState, StageContext
+
 
 class DecodeDispatch:
     """Move decoded groups whose latency elapsed into the ROB.
@@ -17,13 +19,13 @@ class DecodeDispatch:
 
     __slots__ = ("rob_size", "data_stall_threshold", "data_stall_cycles")
 
-    def __init__(self, ctx):
+    def __init__(self, ctx: StageContext):
         core = ctx.config.core
         self.rob_size = core.rob_size
         self.data_stall_threshold = int(core.data_stall_bb_frac * 4096)
         self.data_stall_cycles = core.data_stall_cycles
 
-    def tick(self, state, cycle):
+    def tick(self, state: PipelineState, cycle: int) -> None:
         if state.dispatch_stall_until > cycle:
             return
         decode_q = state.decode_q
@@ -42,5 +44,5 @@ class DecodeDispatch:
                 state.dispatch_stall_until = cycle + self.data_stall_cycles
                 break
 
-    def counters(self):
+    def counters(self) -> dict[str, int]:
         return {}

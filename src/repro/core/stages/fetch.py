@@ -4,7 +4,17 @@ from __future__ import annotations
 
 from ...branch.btb import BTBEntry
 from ...workloads.trace import REC_ENTRY, REC_KIND, REC_NEXT
-from .state import CAUSE_NONE, CONDK, IND_CALL, IND_JUMP, RET, SEQ, UNCONDK
+from .state import (
+    CAUSE_NONE,
+    CONDK,
+    IND_CALL,
+    IND_JUMP,
+    RET,
+    SEQ,
+    UNCONDK,
+    PipelineState,
+    StageContext,
+)
 
 
 class FetchUnit:
@@ -44,7 +54,7 @@ class FetchUnit:
         "stall_uncond",
     )
 
-    def __init__(self, ctx):
+    def __init__(self, ctx: StageContext):
         core = ctx.config.core
         self.fetch_width = core.fetch_width
         self.rob_size = core.rob_size
@@ -64,7 +74,7 @@ class FetchUnit:
         self.stall_cond = 0
         self.stall_uncond = 0
 
-    def tick(self, state, cycle):
+    def tick(self, state: PipelineState, cycle: int) -> None:
         if state.dispatch_stall_until > cycle:
             return
         if state.fetch_ready > cycle:
@@ -156,7 +166,7 @@ class FetchUnit:
         state.last_block = last_block
         state.decode_instrs = decode_instrs
 
-    def counters(self):
+    def counters(self) -> dict[str, int]:
         return {
             "stall_seq": self.stall_seq,
             "stall_cond": self.stall_cond,

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ...frontend.predecode import predecode_block
+from .state import PipelineState, StageContext
 
 
 class FillArrival:
@@ -12,14 +13,14 @@ class FillArrival:
 
     __slots__ = ("mem", "_drain")
 
-    def __init__(self, ctx):
+    def __init__(self, ctx: StageContext):
         self.mem = ctx.mem
         self._drain = ctx.mem.drain_arrivals  # prebound: called every cycle
 
-    def tick(self, state, cycle):
+    def tick(self, state: PipelineState, cycle: int) -> None:
         self._drain(cycle)
 
-    def counters(self):
+    def counters(self) -> dict[str, int]:
         return {}
 
 
@@ -36,12 +37,12 @@ class PredecodeFillArrival(FillArrival):
 
     __slots__ = ("btb", "cfg")
 
-    def __init__(self, ctx):
+    def __init__(self, ctx: StageContext):
         super().__init__(ctx)
         self.btb = ctx.btb
         self.cfg = ctx.workload.cfg
 
-    def tick(self, state, cycle):
+    def tick(self, state: PipelineState, cycle: int) -> None:
         arrived = self.mem.drain_arrivals(cycle)
         if arrived:
             btb = self.btb

@@ -21,6 +21,8 @@ idle.
 
 from __future__ import annotations
 
+from .state import PipelineState, StageContext
+
 
 class FTQScanPrefetchIssue:
     """FTQ-scanning prefetch engine of the decoupled front ends."""
@@ -34,14 +36,14 @@ class FTQScanPrefetchIssue:
 
     __slots__ = ("ftq", "_ftq_entries", "_probe", "_scan_mark", "_recent")
 
-    def __init__(self, ctx):
+    def __init__(self, ctx: StageContext):
         self.ftq = ctx.ftq
         self._ftq_entries = ctx.ftq.entries
         self._probe = ctx.mem.prefetch_probe  # prebound: hot path
         self._scan_mark = 0
         self._recent = {}
 
-    def tick(self, state, cycle):
+    def tick(self, state: PipelineState, cycle: int) -> None:
         # Scan FTQ entries pushed since the last tick into the probe queue,
         # oldest first. The BPU pushes at most one entry per cycle and this
         # stage runs every cycle, so n_new is 0 or 1; the index loop keeps
@@ -79,7 +81,7 @@ class FTQScanPrefetchIssue:
                 state.probe_q = state.probe_q[state.probe_pos :]
                 state.probe_pos = 0
 
-    def counters(self):
+    def counters(self) -> dict[str, int]:
         return {}
 
 
@@ -90,14 +92,14 @@ class StreamPrefetchIssue:
 
     __slots__ = ("_next_prefetch", "_probe")
 
-    def __init__(self, ctx):
+    def __init__(self, ctx: StageContext):
         self._next_prefetch = ctx.prefetcher.next_prefetch  # prebound: hot
         self._probe = ctx.mem.prefetch_probe
 
-    def tick(self, state, cycle):
+    def tick(self, state: PipelineState, cycle: int) -> None:
         block = self._next_prefetch(cycle)
         if block is not None:
             self._probe(block, cycle)
 
-    def counters(self):
+    def counters(self) -> dict[str, int]:
         return {}

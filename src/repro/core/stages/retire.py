@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from .state import PipelineState, StageContext
+
 
 class RetireUnit:
     """Retire up to ``commit_width`` instructions per cycle.
@@ -20,11 +22,11 @@ class RetireUnit:
 
     __slots__ = ("commit_width", "prefetcher")
 
-    def __init__(self, ctx):
+    def __init__(self, ctx: StageContext):
         self.commit_width = ctx.config.core.commit_width
         self.prefetcher = ctx.prefetcher
 
-    def tick(self, state, cycle):
+    def tick(self, state: PipelineState, cycle: int) -> None:
         rob = state.rob
         if rob:
             budget = self.commit_width
@@ -49,5 +51,5 @@ class RetireUnit:
         if state.warmup_snapshot is None and state.retired >= state.warmup_instrs:
             state.warmup_snapshot = state.collect_counters(cycle)
 
-    def counters(self):
+    def counters(self) -> dict[str, int]:
         return {}

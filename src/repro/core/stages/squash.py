@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from .state import CAUSE_BTB, CAUSE_COND, CAUSE_NONE, SQUASH_NEVER
+from .state import CAUSE_BTB, CAUSE_COND, CAUSE_NONE, PipelineState, SQUASH_NEVER, StageContext
 
 
 class SquashUnit:
@@ -28,7 +28,7 @@ class SquashUnit:
         "squash_target",
     )
 
-    def __init__(self, ctx):
+    def __init__(self, ctx: StageContext):
         self.ras = ctx.ras
         self.ftq = ctx.ftq
         self.redirect_bubble = ctx.config.core.redirect_bubble
@@ -36,7 +36,7 @@ class SquashUnit:
         self.squash_cond = 0
         self.squash_target = 0
 
-    def tick(self, state, cycle):
+    def tick(self, state: PipelineState, cycle: int) -> None:
         if cycle < state.squash_at:
             return
         cause = state.div_cause
@@ -77,7 +77,7 @@ class SquashUnit:
         state.probe_pos = 0
         state.throttle_q.clear()
 
-    def counters(self):
+    def counters(self) -> dict[str, int]:
         return {
             "squash_btb": self.squash_btb,
             "squash_cond": self.squash_cond,

@@ -16,7 +16,7 @@ so every stage shares one definition.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import Any, Callable
 
 from ...workloads.isa import BranchKind, EntryKind
 
@@ -66,15 +66,15 @@ class StageContext:
 
     def __init__(
         self,
-        workload=None,
-        config=None,
-        mem=None,
-        btb=None,
-        btb_buf=None,
-        predictor=None,
-        ras=None,
-        ftq=None,
-        prefetcher=None,
+        workload: Any = None,
+        config: Any = None,
+        mem: Any = None,
+        btb: Any = None,
+        btb_buf: Any = None,
+        predictor: Any = None,
+        ras: Any = None,
+        ftq: Any = None,
+        prefetcher: Any = None,
     ):
         self.workload = workload
         self.config = config

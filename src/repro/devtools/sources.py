@@ -1,0 +1,161 @@
+"""Source loading, suppression parsing and the lint context.
+
+The linter works on a parsed snapshot of the tree: every ``*.py`` file
+under the ``repro`` package root becomes one :class:`SourceFile` carrying
+its AST and its parsed suppression comments. Rules never touch the
+filesystem directly — they ask the :class:`LintContext` for files by
+package-relative path — which is what lets the rule tests run against
+tiny synthetic trees instead of the live repository.
+
+Suppression syntax (documented in ``docs/devtools.md``)::
+
+    value = os.environ.get(name)  # reprolint: disable=RPL001
+    # reprolint: disable-file=RPL002,RPL004
+
+``disable=`` silences the named codes on its own line; ``disable-file=``
+(anywhere in the file, conventionally at the top) silences them for the
+whole file. ``disable=all`` exists for generated code but should never
+appear in hand-written sources.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: One suppression comment: ``# reprolint: disable=RPL001[,RPL002]``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable|disable-file)\s*=\s*"
+    r"(?P<codes>(?:all|RPL\d{3})(?:\s*,\s*(?:all|RPL\d{3}))*)"
+)
+
+
+def parse_suppressions(text: str) -> tuple[dict[int, set[str]], set[str]]:
+    """``(line -> codes, file-wide codes)`` from a module's source text."""
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group("codes").split(",")}
+        if match.group("scope") == "disable-file":
+            per_file |= codes
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+    return per_line, per_file
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pointing at a repo-relative file and line."""
+
+    rel: str
+    line: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.rel}:{self.line}: {self.code} {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """One parsed module of the tree under lint."""
+
+    path: Path
+    #: Path relative to the *package* root, posix-style — the stable name
+    #: rules key on (e.g. ``runtime/cache.py``).
+    modrel: str
+    #: Path to display in findings (repo-relative when known).
+    rel: str
+    text: str
+    tree: ast.Module
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    file_suppressions: set[str] = field(default_factory=set)
+
+    def suppressed(self, code: str, line: int) -> bool:
+        if code in self.file_suppressions or "all" in self.file_suppressions:
+            return True
+        codes = self.line_suppressions.get(line, ())
+        return code in codes or "all" in codes
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may look at."""
+
+    #: The ``repro`` package directory being linted.
+    package_root: Path
+    #: The repository root (docs live here); equals ``package_root`` in
+    #: synthetic test trees without one.
+    repo_root: Path
+    sources: list[SourceFile]
+    #: The committed RPL004 fingerprint baseline (JSON file).
+    schema_baseline: Path
+    _by_modrel: dict[str, SourceFile] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._by_modrel = {src.modrel: src for src in self.sources}
+
+    def get(self, modrel: str) -> SourceFile | None:
+        """The parsed module at a package-relative path, if present."""
+        return self._by_modrel.get(modrel)
+
+    def finding(
+        self, src: SourceFile, line: int, code: str, message: str
+    ) -> Finding | None:
+        """A :class:`Finding` unless a suppression comment silences it."""
+        if src.suppressed(code, line):
+            return None
+        return Finding(rel=src.rel, line=line, code=code, message=message)
+
+
+def load_context(
+    package_root: Path,
+    repo_root: Path | None = None,
+    schema_baseline: Path | None = None,
+) -> LintContext:
+    """Parse every module under ``package_root`` into a lint context.
+
+    A file that does not parse is reported by the lint driver as a hard
+    error before any rule runs, so rules may assume every tree is valid.
+    """
+    package_root = package_root.resolve()
+    if repo_root is None:
+        # src/repro -> the directory containing src/ is the repo root.
+        repo_root = (
+            package_root.parents[1]
+            if package_root.parent.name == "src"
+            else package_root
+        )
+    sources: list[SourceFile] = []
+    for path in sorted(package_root.rglob("*.py")):
+        text = path.read_text()
+        tree = ast.parse(text, filename=str(path))
+        per_line, per_file = parse_suppressions(text)
+        try:
+            rel = str(path.relative_to(repo_root))
+        except ValueError:
+            rel = str(path)
+        sources.append(
+            SourceFile(
+                path=path,
+                modrel=path.relative_to(package_root).as_posix(),
+                rel=rel,
+                text=text,
+                tree=tree,
+                line_suppressions=per_line,
+                file_suppressions=per_file,
+            )
+        )
+    if schema_baseline is None:
+        schema_baseline = Path(__file__).resolve().parent / "schema_baseline.json"
+    return LintContext(
+        package_root=package_root,
+        repo_root=repo_root,
+        sources=sources,
+        schema_baseline=schema_baseline,
+    )

@@ -13,11 +13,13 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from ..config import SimConfig
 from ..core.mechanisms import make_config
 from ..stats import geometric_mean
 from .common import (
     workload_names,
     ExperimentResult,
+    ExperimentScale,
     baseline_config,
     baseline_for,
     get_scale,
@@ -50,7 +52,9 @@ def _knob_configs() -> list[tuple[str, int, object]]:
     return points
 
 
-def _gmean_speedup(cfg, names, scale) -> float:
+def _gmean_speedup(
+    cfg: SimConfig, names: tuple[str, ...], scale: ExperimentScale
+) -> float:
     speedups = []
     for name in names:
         base = baseline_for(name, scale)

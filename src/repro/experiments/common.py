@@ -37,10 +37,10 @@ Execution and caching are owned by :mod:`repro.runtime`:
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field, replace
 
 from ..analysis.tables import format_table
+from ..envopts import env_str
 from ..config import SimConfig
 from ..core.mechanisms import make_config
 from ..core.results import SimulationResult
@@ -104,7 +104,7 @@ SCALES: dict[str, ExperimentScale] = {
 
 def get_scale(name: str | None = None) -> ExperimentScale:
     """Resolve a scale by argument, ``REPRO_SCALE`` env var, or default."""
-    chosen = name or os.environ.get("REPRO_SCALE", "default")
+    chosen = name or env_str("REPRO_SCALE", "default")
     try:
         return SCALES[chosen]
     except KeyError:

@@ -10,6 +10,7 @@ prediction at all (Section III-A).
 
 from __future__ import annotations
 
+from ..config import SimConfig
 from ..core.mechanisms import make_config
 from .common import (
     workload_names,
@@ -24,7 +25,7 @@ from .common import (
 IDEAL_BTB_ENTRIES = 32768
 
 
-def _series_config(mechanism: str, predictor: str, lat: int):
+def _series_config(mechanism: str, predictor: str, lat: int) -> SimConfig:
     cfg = make_config(mechanism).with_btb_entries(IDEAL_BTB_ENTRIES)
     return cfg.with_llc_latency(lat).with_predictor(predictor)
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from ..config import SimConfig
 from ..core.mechanisms import make_config
 from ..stats import geometric_mean
 from .common import (
@@ -34,7 +35,7 @@ LABELS = {
 }
 
 
-def _crossbar(cfg):
+def _crossbar(cfg: SimConfig) -> SimConfig:
     return replace(
         cfg, memory=replace(cfg.memory, noc=replace(cfg.memory.noc, kind="crossbar"))
     )

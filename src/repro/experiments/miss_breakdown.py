@@ -15,6 +15,7 @@ from ..core.mechanisms import make_config
 from .common import (
     workload_names,
     ExperimentResult,
+    ExperimentScale,
     baseline_config,
     baseline_for,
     get_scale,
@@ -23,7 +24,7 @@ from .common import (
 )
 
 
-def _configs(scale) -> list[tuple[str, object]]:
+def _configs(scale: ExperimentScale) -> list[tuple[str, object]]:
     configs: list[tuple[str, object]] = [
         ("Base 2K", make_config("none")),
         ("Next-Line 2K", make_config("next_line")),

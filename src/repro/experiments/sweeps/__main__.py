@@ -32,11 +32,11 @@ whose grid no longer matches the current sweep definition is refused.
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 import time
 from pathlib import Path
 
+from ...envopts import read_env
 from ...errors import ConfigError
 from ...runtime import backend_summary, configure_runtime, get_runtime
 from ...runtime.cache import SCHEMA_TAG
@@ -120,7 +120,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     spec = get_sweep(manifest.sweep)
     verify_matches_spec(manifest, spec)
     cache_dir = args.cache_dir
-    if cache_dir is None and not os.environ.get("REPRO_CACHE_DIR"):
+    if cache_dir is None and not read_env("REPRO_CACHE_DIR"):
         # The manifest lives inside the cache it belongs to — infer it.
         parent = Path(args.resume).resolve().parent
         if parent.name == "manifests":

@@ -41,15 +41,22 @@ import hashlib
 import json
 import os
 import time
+from collections.abc import Iterable
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ...config import SimConfig
 from ...errors import ConfigError
 from ...runtime import SimJob, canonicalize, config_digest
-from ...runtime.broker import _atomic_write_json, config_from_canonical
+from ...envopts import env_str
+from ...runtime.atomicio import atomic_write_json
+from ...runtime.broker import config_from_canonical
 from ...runtime.cache import SCHEMA_TAG, ResultCache
 from ..common import get_scale
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (__init__ is our parent)
+    from . import SweepSpec
 
 #: Manifest record format version.
 MANIFEST_SCHEMA = "sweep-manifest-v1"
@@ -98,7 +105,7 @@ class SweepManifest:
 
 
 def resolve_cells(
-    spec, scale_name: str | None, workload_set: str | None
+    spec: SweepSpec, scale_name: str | None, workload_set: str | None
 ) -> list[ManifestCell]:
     """The deduplicated cell list of a sweep at a scale, in grid order."""
     scale = get_scale(scale_name)
@@ -121,7 +128,7 @@ def resolve_cells(
     return cells
 
 
-def _keys_digest(keys) -> str:
+def _keys_digest(keys: Iterable[tuple[str, str, str]]) -> str:
     """Order-independent digest of a set of (workload, scale, digest) keys."""
     payload = "\n".join(sorted(f"{w}|{s}|{d}" for w, s, d in set(keys)))
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
@@ -141,7 +148,7 @@ def manifest_path(cache_dir: str | os.PathLike, manifest: SweepManifest) -> Path
     return Path(cache_dir) / "manifests" / name
 
 
-def effective_workload_set(spec, workload_set: str | None) -> str:
+def effective_workload_set(spec: SweepSpec, workload_set: str | None) -> str:
     """The concrete set name a grid resolution will use, env included.
 
     Mirrors the precedence of :func:`repro.workloads.profiles.workload_set`
@@ -152,14 +159,14 @@ def effective_workload_set(spec, workload_set: str | None) -> str:
     return (
         workload_set
         or spec.workload_set
-        or os.environ.get("REPRO_WORKLOAD_SET")
+        or env_str("REPRO_WORKLOAD_SET")
         or "paper"
     )
 
 
 def write_manifest(
     cache_dir: str | os.PathLike,
-    spec,
+    spec: SweepSpec,
     scale_name: str | None = None,
     workload_set: str | None = None,
 ) -> SweepManifest:
@@ -200,7 +207,7 @@ def write_manifest(
             for c in cells
         ],
     }
-    _atomic_write_json(path, record)
+    atomic_write_json(path, record)
     manifest.path = path
     return manifest
 
@@ -244,7 +251,7 @@ def load_manifest(path: str | os.PathLike) -> SweepManifest:
     return manifest
 
 
-def verify_matches_spec(manifest: SweepManifest, spec) -> None:
+def verify_matches_spec(manifest: SweepManifest, spec: SweepSpec) -> None:
     """Refuse to resume a manifest whose grid no longer matches the code.
 
     The current registry's resolution of (sweep, scale, workload set) must

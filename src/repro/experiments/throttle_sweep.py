@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from ..config import SimConfig
 from ..core.mechanisms import make_config
 from ..stats import geometric_mean
 from .common import (
@@ -27,7 +28,7 @@ POLICIES: tuple[int, ...] = (0, 1, 2, 4, 8)
 POLICY_LABELS = {0: "None", 1: "1 Block", 2: "2 Blocks", 4: "4 Blocks", 8: "8 Blocks"}
 
 
-def _policy_config(policy: int):
+def _policy_config(policy: int) -> SimConfig:
     cfg = make_config("boomerang")
     return replace(cfg, prefetch=replace(cfg.prefetch, throttle_blocks=policy))
 

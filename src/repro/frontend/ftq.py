@@ -17,6 +17,7 @@ it as read-only — all mutation goes through ``push``/``pop``/``flush``.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterator
 
 
 class FetchTargetQueue:
@@ -36,7 +37,7 @@ class FetchTargetQueue:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple]:
         return iter(self.entries)
 
     @property
@@ -47,17 +48,17 @@ class FetchTargetQueue:
     def empty(self) -> bool:
         return not self.entries
 
-    def push(self, entry) -> None:
+    def push(self, entry: tuple) -> None:
         if len(self.entries) >= self.depth:
             raise OverflowError("push on full FTQ")
         self.entries.append(entry)
         self.pushed += 1
 
-    def pop(self):
+    def pop(self) -> tuple:
         """Remove and return the head entry (fetch engine side)."""
         return self.entries.popleft()
 
-    def peek(self):
+    def peek(self) -> tuple | None:
         return self.entries[0] if self.entries else None
 
     def flush(self) -> int:

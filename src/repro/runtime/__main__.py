@@ -36,9 +36,9 @@ environment variable — the same resolution the experiment runner uses.
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 
+from ..envopts import env_str
 from .broker import BrokerQueue, run_worker
 from .cache import SCHEMA_TAG, prune_cache, scan_cache
 from .shards import compact_cache
@@ -53,7 +53,7 @@ def _fmt_size(n: int) -> str:
 
 
 def _resolve_cache_dir(arg: str | None) -> str:
-    cache_dir = arg or os.environ.get("REPRO_CACHE_DIR") or ""
+    cache_dir = arg or env_str("REPRO_CACHE_DIR", "")
     if not cache_dir:
         raise SystemExit(
             "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR"

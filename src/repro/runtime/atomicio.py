@@ -1,0 +1,66 @@
+"""The one blessed atomic-write idiom for every durable-state file.
+
+Four subsystems persist crash-safe state — the result cache, the broker
+queue, shard compaction, and the workload trace store — and before this
+module each carried its own copy of the same temp-file + ``os.replace``
+block. Four copies meant four places for the idiom to rot independently
+(one had fsync, three did not; one cleaned up with ``unlink`` on a
+different exception class...). The idiom now lives here, once:
+
+* the temp file is created **in the destination directory** (``mkstemp``
+  with ``dir=``), so the final ``os.replace`` is same-filesystem and
+  therefore atomic — a reader observes either the old complete file or
+  the new complete file, never a prefix;
+* the destination's parent directories are created on demand;
+* on *any* failure — including ``KeyboardInterrupt`` and the SIGKILL-style
+  fault points the crash tests inject — the temp file is unlinked, so an
+  interrupted writer leaves at most an ignorable ``*.tmp`` behind;
+* ``fsync=True`` additionally flushes file contents to stable storage
+  before the rename, for writers (shard compaction) that delete their
+  source data afterwards.
+
+``reprolint`` rule ``RPL002`` enforces that cache/queue/shard/trace-store
+code performs durable writes only through these helpers, so a fifth copy
+— or a raw ``open(path, "w")`` that can tear — cannot creep back in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Iterator
+
+
+@contextmanager
+def atomic_writer(
+    path: Path,
+    mode: str = "w",
+    fsync: bool = False,
+) -> Iterator[IO[Any]]:
+    """Yield a handle whose contents atomically replace ``path`` on exit.
+
+    ``mode`` is ``"w"`` (text) or ``"wb"`` (binary). Propagates ``OSError``
+    (read-only directory, full disk) to the caller — cache-style writers
+    that degrade to "no caching" catch it around this call.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, mode) as fh:
+            yield fh
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+
+
+def atomic_write_json(path: Path, record: dict, fsync: bool = False) -> None:
+    """Atomically write one compact JSON record to ``path``."""
+    with atomic_writer(path, fsync=fsync) as fh:
+        json.dump(record, fh, separators=(",", ":"))

@@ -60,19 +60,24 @@ import dataclasses
 import json
 import os
 import socket
-import tempfile
 import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from .. import config as config_module
 from ..config import SimConfig
 from ..core.results import SimulationResult
+from ..envopts import env_flag, env_str, read_env
 from ..errors import BrokerError
+from .atomicio import atomic_write_json
 from .cache import SCHEMA_TAG, ResultCache
 from .confighash import canonicalize, config_digest
 from .faultpoints import maybe_fault
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from .runner import SimJob
 
 #: Queue record format version (independent of the engine schema tag).
 BROKER_SCHEMA = "broker-v1"
@@ -90,18 +95,6 @@ DEFAULT_SCHEDULER = "longest"
 
 def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
-
-
-def _atomic_write_json(path: Path, record: dict) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as fh:
-            json.dump(record, fh, separators=(",", ":"))
-        os.replace(tmp, path)
-    except BaseException:
-        os.unlink(tmp)
-        raise
 
 
 def _read_json(path: Path) -> dict | None:
@@ -156,7 +149,7 @@ def config_from_canonical(obj: object) -> object:
     return obj
 
 
-def job_spec(job) -> dict:
+def job_spec(job: SimJob) -> dict:
     """The JSON job description a worker needs to execute ``job``."""
     from .runner import estimate_job_cost
 
@@ -173,7 +166,7 @@ def job_spec(job) -> dict:
     }
 
 
-def job_from_spec(spec: dict):
+def job_from_spec(spec: dict) -> SimJob:
     """Rebuild the :class:`~repro.runtime.runner.SimJob` a spec describes.
 
     The config digest is recomputed from the rebuilt config and checked
@@ -271,13 +264,13 @@ class BrokerQueue:
             directory.mkdir(parents=True, exist_ok=True)
 
     @staticmethod
-    def job_id(job) -> str:
+    def job_id(job: SimJob) -> str:
         workload, scale_tok, digest = job.key
         return f"{workload}__s{scale_tok}__{digest[:16]}"
 
     # ------------------------------------------------------------- enqueue
 
-    def enqueue(self, job) -> str:
+    def enqueue(self, job: SimJob) -> str:
         """Make ``job`` runnable unless it is already visible anywhere.
 
         Racing submitters are harmless: both write identical specs, and a
@@ -292,7 +285,7 @@ class BrokerQueue:
         (self.failed / f"{job_id}.json").unlink(missing_ok=True)
         spec = job_spec(job)
         name = _job_filename(job_id, spec.get("cost"), 0)
-        _atomic_write_json(self.pending / name, spec)
+        atomic_write_json(self.pending / name, spec)
         return job_id
 
     def _visible(self, job_id: str) -> bool:
@@ -425,7 +418,7 @@ class BrokerQueue:
                 "raw": result.raw,
             },
         }
-        _atomic_write_json(self.done / f"{claimed.job_id}.json", record)
+        atomic_write_json(self.done / f"{claimed.job_id}.json", record)
         claimed.path.unlink(missing_ok=True)
         return record
 
@@ -450,12 +443,12 @@ class BrokerQueue:
         spec = dict(claimed.spec)
         spec["last_error"] = error
         name = _job_filename(claimed.job_id, spec.get("cost"), attempts)
-        _atomic_write_json(self.pending / name, spec)
+        atomic_write_json(self.pending / name, spec)
         claimed.path.unlink(missing_ok=True)
         return True
 
     def _fail_terminal(self, job_id: str, attempts: int, error: str) -> None:
-        _atomic_write_json(
+        atomic_write_json(
             self.failed / f"{job_id}.json",
             {
                 "schema": BROKER_SCHEMA,
@@ -614,7 +607,7 @@ def execute_claimed(
 
 
 def _env_float(name: str, default: float | None) -> float | None:
-    raw = os.environ.get(name)
+    raw = read_env(name)
     if not raw:
         return default
     try:
@@ -625,7 +618,7 @@ def _env_float(name: str, default: float | None) -> float | None:
 
 def broker_env_options() -> dict:
     """Broker tunables from ``REPRO_BROKER_*`` environment variables."""
-    max_attempts_raw = os.environ.get("REPRO_BROKER_MAX_ATTEMPTS")
+    max_attempts_raw = read_env("REPRO_BROKER_MAX_ATTEMPTS")
     try:
         max_attempts = (
             int(max_attempts_raw) if max_attempts_raw else DEFAULT_MAX_ATTEMPTS
@@ -638,8 +631,8 @@ def broker_env_options() -> dict:
         "lease_seconds": _env_float("REPRO_BROKER_LEASE", DEFAULT_LEASE_SECONDS),
         "max_attempts": max_attempts,
         "timeout": _env_float("REPRO_BROKER_TIMEOUT", None),
-        "steal": os.environ.get("REPRO_BROKER_STEAL", "1") not in ("0", "false", "no"),
-        "scheduler": os.environ.get("REPRO_BROKER_SCHEDULER") or DEFAULT_SCHEDULER,
+        "steal": env_flag("REPRO_BROKER_STEAL"),
+        "scheduler": env_str("REPRO_BROKER_SCHEDULER", DEFAULT_SCHEDULER),
     }
 
 
@@ -791,7 +784,7 @@ def run_worker(
     cache = ResultCache(cache_dir)
     # Share workload builds with everyone else using this cache dir
     # (unless REPRO_TRACE_STORE points the store somewhere specific).
-    if os.environ.get("REPRO_TRACE_STORE") is None:
+    if read_env("REPRO_TRACE_STORE") is None:
         configure_trace_store(cache_dir)
     me = worker_id or default_worker_id()
     if drain and max_idle is None:

@@ -38,11 +38,11 @@ import json
 import os
 import re
 import shutil
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.results import SimulationResult
+from .atomicio import atomic_write_json
 
 #: Bump on cache *record format* changes; semantic changes are fingerprinted.
 _SCHEMA_MAJOR = "engine-v1"
@@ -121,6 +121,10 @@ class ResultCache:
             record = json.loads(path.read_text())
         except (OSError, ValueError):
             record = self._shard_lookup(workload, scale_tok, digest)
+        if not isinstance(record, dict):
+            # Valid JSON that is not an object (e.g. a bare list) is just
+            # as corrupt as unparseable bytes: a miss, never an error.
+            record = None
         if record is None:
             self.misses += 1
             return None
@@ -158,17 +162,7 @@ class ResultCache:
             "raw": result.raw,
         }
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=path.name, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(record, fh, separators=(",", ":"))
-                os.replace(tmp, path)
-            except BaseException:
-                os.unlink(tmp)
-                raise
+            atomic_write_json(path, record)
         except OSError:
             return  # a read-only or full cache dir degrades to no caching
         self.stores += 1

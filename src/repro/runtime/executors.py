@@ -43,6 +43,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
+from ..envopts import exported
 from ..errors import ConfigError
 from ..workloads.workload import load_workload, trace_store_env_value
 
@@ -143,24 +144,17 @@ class ProcessPoolBackend:
             # every worker resolves the same store regardless of start
             # method, then restore the environment (a leaked value would
             # override later reconfiguration or env changes).
-            env_value = trace_store_env_value()
-            env_before = os.environ.get("REPRO_TRACE_STORE")
-            if env_value is not None:
-                os.environ["REPRO_TRACE_STORE"] = env_value
             workers = min(self.max_workers, len(jobs))
-            try:
-                with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                    results = list(pool.map(execute_job, jobs))
-                self._used_pool = True
-                return results
-            except OSError:
-                pass  # no pool support (restricted sandbox) — run serially
-            finally:
-                if env_value is not None:
-                    if env_before is None:
-                        os.environ.pop("REPRO_TRACE_STORE", None)
-                    else:
-                        os.environ["REPRO_TRACE_STORE"] = env_before
+            with exported("REPRO_TRACE_STORE", trace_store_env_value()):
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=workers, mp_context=ctx
+                    ) as pool:
+                        results = list(pool.map(execute_job, jobs))
+                    self._used_pool = True
+                    return results
+                except OSError:
+                    pass  # no pool support (restricted sandbox) — run serially
         return [execute_job(job) for job in jobs]
 
     def telemetry(self) -> dict:

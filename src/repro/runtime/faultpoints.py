@@ -25,6 +25,8 @@ from __future__ import annotations
 import os
 import signal
 
+from ..envopts import read_env
+
 #: Per-process pass counts for each named point.
 _hits: dict[str, int] = {}
 
@@ -47,7 +49,7 @@ def maybe_fault(point: str) -> None:
     SIGKILL — not ``sys.exit`` — because the entire contract under test is
     that *nothing* gets a chance to clean up.
     """
-    spec = os.environ.get("REPRO_FAULTPOINTS")
+    spec = read_env("REPRO_FAULTPOINTS")
     if not spec:
         return
     targets = _parse(spec)

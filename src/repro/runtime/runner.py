@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from ..config import SimConfig
 from ..core.results import SimulationResult
 from ..core.simulator import Simulator
+from ..envopts import env_str, read_env
 from ..errors import ConfigError
 from ..workloads.workload import configure_trace_store, load_workload
 from .cache import ResultCache
@@ -130,7 +131,7 @@ def resolve_options(
     every entry path — constructor, :func:`configure_runtime`, CLI flags.
     """
     if jobs is None:
-        raw = os.environ.get("REPRO_JOBS", "1") or "1"
+        raw = env_str("REPRO_JOBS", "1")
         try:
             jobs = int(raw)
         except ValueError:
@@ -142,11 +143,11 @@ def resolve_options(
     elif jobs < 1:
         raise ValueError("jobs must be >= 1")
     if cache_dir is None:
-        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        cache_dir = env_str("REPRO_CACHE_DIR")
     else:
         cache_dir = os.fspath(cache_dir)
     backend = resolve_backend_name(
-        backend if backend is not None else os.environ.get("REPRO_BACKEND") or None
+        backend if backend is not None else env_str("REPRO_BACKEND")
     )
     if backend == "broker" and cache_dir is None:
         # Fail at configuration time, not minutes later at the first
@@ -351,7 +352,7 @@ def configure_runtime(
     """
     global _RUNTIME
     runtime = _from_options(resolve_options(jobs, cache_dir, backend))
-    if cache_dir is not None and os.environ.get("REPRO_TRACE_STORE") is None:
+    if cache_dir is not None and read_env("REPRO_TRACE_STORE") is None:
         configure_trace_store(cache_dir)
     if _RUNTIME is not None:
         runtime._memo.update(_RUNTIME._memo)

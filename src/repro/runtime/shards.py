@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -43,6 +42,7 @@ try:  # POSIX-only; without it compaction simply runs unserialized
 except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None
 
+from .atomicio import atomic_writer
 from .cache import SCHEMA_TAG
 from .faultpoints import maybe_fault
 
@@ -93,19 +93,10 @@ def write_shard(path: Path, records: list[dict]) -> None:
     point — including mid-write, which the ``shard-entry`` fault point
     simulates — leaves only an ignorable ``*.tmp`` file behind.
     """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as fh:
-            for record in records:
-                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
-                maybe_fault("shard-entry")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        os.unlink(tmp)
-        raise
+    with atomic_writer(path, fsync=True) as fh:
+        for record in records:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            maybe_fault("shard-entry")
 
 
 # ---------------------------------------------------------------------------

@@ -9,7 +9,7 @@ printing for the experiment tables.
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
 
 class StatGroup:
@@ -32,7 +32,7 @@ class StatGroup:
     def __contains__(self, key: str) -> bool:
         return key in self._values
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(sorted(self._values))
 
     def __len__(self) -> int:

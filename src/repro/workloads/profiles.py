@@ -36,9 +36,9 @@ speculative sequential prefetch in Figure 10.
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass, replace
 
+from ..envopts import env_str
 from ..errors import ConfigError
 
 #: Taken-conditional target distance distribution, in cache blocks.
@@ -393,7 +393,7 @@ def workload_set(name: str | None = None) -> tuple[WorkloadProfile, ...]:
     The default is the paper set, so figure grids only change when a run
     explicitly opts in (mirrors how ``REPRO_SCALE`` selects sweep density).
     """
-    chosen = name or os.environ.get("REPRO_WORKLOAD_SET", "paper")
+    chosen = name or env_str("REPRO_WORKLOAD_SET", "paper")
     try:
         return PROFILE_SETS[chosen]
     except KeyError:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import random
 from array import array
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from operator import itemgetter
 
@@ -95,12 +96,12 @@ class TraceRecordView:
     def __len__(self) -> int:
         return len(self._columns[0])
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int | slice) -> tuple | list[tuple]:
         if isinstance(index, slice):
             return list(zip(*(col[index] for col in self._columns)))
         return tuple(col[index] for col in self._columns)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple]:
         return zip(*self._columns)
 
     def __eq__(self, other: object) -> bool:
@@ -141,7 +142,7 @@ class Trace:
     def __len__(self) -> int:
         return len(self.columns[0])
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple]:
         return iter(self.records)
 
     def column(self, index: int) -> array:
@@ -177,7 +178,7 @@ class TraceBuilder:
         if len(self._buffer) >= _EMIT_CHUNK:
             self._flush()
 
-    def extend(self, records) -> None:
+    def extend(self, records: Iterable[tuple]) -> None:
         """Emit many record rows."""
         for record in records:
             self.append(record)

@@ -50,7 +50,6 @@ import pickle
 import re
 import shutil
 import struct
-import tempfile
 from array import array
 from dataclasses import dataclass
 from pathlib import Path
@@ -206,6 +205,11 @@ class TraceStore:
         digest: str | None = None,
     ) -> None:
         """Atomically persist one built workload record."""
+        # Deferred for the same reason as profile_digest's confighash
+        # import: ``repro.runtime`` imports this package back, and the
+        # method is never called at import time.
+        from ..runtime.atomicio import atomic_writer
+
         if digest is None:
             digest = profile_digest(profile)
         path = self._path(profile.name, digest, length)
@@ -229,22 +233,13 @@ class TraceStore:
             separators=(",", ":"),
         ).encode()
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=path.name, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(_MAGIC)
-                    fh.write(struct.pack("<I", len(header)))
-                    fh.write(header)
-                    for payload in payloads:
-                        fh.write(payload)
-                    fh.write(cfg_blob)
-                os.replace(tmp, path)
-            except BaseException:
-                os.unlink(tmp)
-                raise
+            with atomic_writer(path, mode="wb") as fh:
+                fh.write(_MAGIC)
+                fh.write(struct.pack("<I", len(header)))
+                fh.write(header)
+                for payload in payloads:
+                    fh.write(payload)
+                fh.write(cfg_blob)
         except OSError:
             return  # a read-only or full store degrades to no caching
         self.stores += 1

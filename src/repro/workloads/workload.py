@@ -28,6 +28,7 @@ import os
 from dataclasses import dataclass
 from functools import lru_cache
 
+from ..envopts import env_str, read_env
 from .builder import build_cfg
 from .cfg import ControlFlowGraph
 from .profiles import WorkloadProfile, get_profile
@@ -104,10 +105,10 @@ def trace_store_dir() -> str | None:
     ``REPRO_CACHE_DIR``.
     """
     if _STORE_DIR is _UNSET:
-        env = os.environ.get("REPRO_TRACE_STORE")
+        env = read_env("REPRO_TRACE_STORE")
         if env is not None:
             return env or None
-        return os.environ.get("REPRO_CACHE_DIR") or None
+        return env_str("REPRO_CACHE_DIR")
     return _STORE_DIR
 
 

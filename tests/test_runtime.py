@@ -150,6 +150,17 @@ class TestDiskCache:
         fresh = ResultCache(tmp_path)
         assert fresh.get(WL, scale_token(SCALE), config_digest(cfg)) is None
 
+    def test_valid_json_non_dict_record_is_a_miss(self, tmp_path):
+        # A bare JSON array parses fine but is not a record; it used to
+        # raise AttributeError inside get() instead of reading as a miss.
+        cfg = make_config("none")
+        rt = ExperimentRuntime(cache_dir=tmp_path)
+        rt.run_one(WL, cfg, SCALE)
+        path = next((tmp_path / SCHEMA_TAG).rglob("*.json"))
+        path.write_text('["not", "a", "record"]')
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(WL, scale_token(SCALE), config_digest(cfg)) is None
+
     def test_parallel_batch_populates_disk(self, tmp_path):
         configs = [make_config("none"), make_config("next_line")]
         rt = ExperimentRuntime(jobs=2, cache_dir=tmp_path)
