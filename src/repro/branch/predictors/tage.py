@@ -126,6 +126,19 @@ class TagePredictor(DirectionPredictor):
         self.tables = [
             _TaggedTable(table_entries, tag_bits, length) for length in history_lengths
         ]
+        # Flattened per-table constants + folded registers for the hot
+        # lookup/shift loops (registers are stable objects; the mutable
+        # ctr/tag/useful lists are NOT cached — reset()/aging rebind them).
+        self._lookup_plan = [
+            (t, t.index_bits, t._index_mask, t._tag_mask,
+             t._f_index, t._f_tag0, t._f_tag1)
+            for t in self.tables
+        ]
+        self._shift_plan = [
+            (reg, t.history_length - 1, reg._bits - 1, reg._mask, reg._out_pos)
+            for t in self.tables
+            for reg in (t._f_index, t._f_tag0, t._f_tag1)
+        ]
         self._max_hist_mask = (1 << history_lengths[-1]) - 1
         self.history = 0
         self._updates = 0
@@ -137,19 +150,27 @@ class TagePredictor(DirectionPredictor):
     # -- prediction ---------------------------------------------------------
 
     def _lookup(self, pc: int) -> tuple[list[int], list[int], int, int]:
-        """Compute (indices, tags, provider, alt) for ``pc`` at current history."""
+        """Compute (indices, tags, provider, alt) for ``pc`` at current history.
+
+        The loop inlines :meth:`_TaggedTable.index_of` / ``tag_of`` over the
+        flattened plan — this runs once per prediction and the method-call
+        overhead is measurable in grid sweeps.
+        """
         indices = []
         tags = []
         provider = -1
         alt = -1
-        for t, table in enumerate(self.tables):
-            idx = table.index_of(pc)
-            tag = table.tag_of(pc)
+        pc2 = pc >> 2
+        t = 0
+        for table, ibits, imask, tmask, f_idx, f_t0, f_t1 in self._lookup_plan:
+            idx = (pc2 ^ (pc2 >> ibits) ^ f_idx.value) & imask
+            tag = (pc2 ^ f_t0.value ^ (f_t1.value << 1)) & tmask
             indices.append(idx)
             tags.append(tag)
             if table.tag[idx] == tag:
                 alt = provider
                 provider = t
+            t += 1
         return indices, tags, provider, alt
 
     def _base_pred(self, pc: int) -> bool:
@@ -227,8 +248,13 @@ class TagePredictor(DirectionPredictor):
 
         bit = 1 if taken else 0
         history_before = self.history
-        for table in self.tables:
-            table.shift_history(bit, history_before)
+        # Inlined _TaggedTable.shift_history over every folded register
+        # (12 rotate-XOR steps), hottest part of the update path.
+        for reg, out_shift, rot, mask, out_pos in self._shift_plan:
+            out_bit = (history_before >> out_shift) & 1
+            v = reg.value
+            v = ((v << 1) | (v >> rot)) & mask  # rotate left
+            reg.value = v ^ bit ^ (out_bit << out_pos)
         self.history = ((history_before << 1) | bit) & self._max_hist_mask
 
     def _allocate(

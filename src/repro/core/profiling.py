@@ -1,0 +1,152 @@
+"""Per-stage cycle/time attribution for both engines (``--profile-stages``).
+
+The sweeps CLI turns the process-wide profiler on
+(:func:`enable`), the runtime's job executors consult it
+(:func:`active`), and every *stage activation* — one ``tick`` (or, in the
+batched engine's fused loop, one gated-in stage call) — is timed with
+``perf_counter`` and accumulated per stage name. The resulting table
+answers "where do the cycles go": how many cycles each stage actually
+acted, and how much wall time those activations cost.
+
+Attribution semantics differ slightly, and meaningfully, per engine:
+
+* the per-cell :class:`~repro.core.engine.FrontEndEngine` calls every
+  stage every cycle, so a stage's tick count equals the cycle count and
+  its time includes the idle early-outs;
+* the batched :class:`~repro.core.batch.BatchedEngine` only calls a stage
+  on cycles its gate opens, so tick counts there show how often each
+  stage was *live* — exactly the signal that motivates the fused gate
+  loop — and the fast-forward oracle appears as its own row.
+
+Profiling never changes simulated results (the wrappers are pure
+pass-throughs), but it does add per-call overhead, so wall-clock numbers
+from a profiled run are for attribution, not for benchmarking.
+
+The profiler is deliberately in-process state: the CLI forces the serial
+backend while profiling, because pool/broker workers would accumulate
+into their own processes and the data would never come back.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoid import cycles)
+    from ..config import SimConfig
+    from ..workloads.workload import Workload
+    from .results import SimulationResult
+
+__all__ = [
+    "StageProfiler",
+    "active",
+    "disable",
+    "enable",
+    "run_profiled_single",
+]
+
+
+class StageProfiler:
+    """Accumulates ``(activations, seconds)`` per stage name."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self) -> None:
+        #: stage name -> [activations, seconds], insertion-ordered.
+        self.rows: dict[str, list[float]] = {}
+
+    def wrap(self, name: str, fn: Callable) -> Callable:
+        """A pass-through wrapper timing every call of ``fn`` under ``name``.
+
+        Multiple callables may share a name (the batched BPU's predict /
+        probe / wrong-path walk entry points all attribute to the BPU
+        stage); their counts and times pool into one row.
+        """
+        row = self.rows.setdefault(name, [0, 0.0])
+
+        def timed(*args):  # type: ignore[no-untyped-def]
+            start = perf_counter()
+            out = fn(*args)
+            row[0] += 1
+            row[1] += perf_counter() - start
+            return out
+
+        return timed
+
+    def table(self) -> str:
+        """The per-stage attribution table the CLI prints."""
+        if not self.rows:
+            return (
+                "[profile-stages: nothing executed — every result was a "
+                "cache hit]"
+            )
+        total = sum(row[1] for row in self.rows.values())
+        lines = [
+            "per-stage attribution (activations = cycles the stage ran):",
+            f"  {'stage':<16s} {'activations':>12s} {'seconds':>9s} {'share':>6s}",
+        ]
+        for name, (calls, seconds) in self.rows.items():
+            share = seconds / total if total else 0.0
+            lines.append(
+                f"  {name:<16s} {int(calls):>12d} {seconds:>9.3f} {share:>6.1%}"
+            )
+        lines.append(f"  {'total':<16s} {'':>12s} {total:>9.3f}")
+        return "\n".join(lines)
+
+
+_ACTIVE: StageProfiler | None = None
+
+
+def enable() -> StageProfiler:
+    """Install (and return) a fresh process-wide profiler."""
+    global _ACTIVE
+    _ACTIVE = StageProfiler()
+    return _ACTIVE
+
+
+def active() -> StageProfiler | None:
+    """The installed profiler, or ``None`` when profiling is off."""
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Remove the process-wide profiler (timing wrappers stop accruing)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+class _TimedStage:
+    """Stage wrapper for the per-cell engine's generic tick loop.
+
+    ``tick`` is replaced by the profiler's timed wrapper; everything else
+    (``counters()``, ``name``, stage-specific attributes read by the
+    results aggregation) delegates to the wrapped stage.
+    """
+
+    def __init__(self, inner: object, profiler: StageProfiler):
+        self._inner = inner
+        self.tick = profiler.wrap(inner.name, inner.tick)  # type: ignore[attr-defined]
+
+    def __getattr__(self, name: str) -> object:
+        return getattr(self._inner, name)
+
+
+def run_profiled_single(
+    workload: "Workload", config: "SimConfig", profiler: StageProfiler
+) -> "SimulationResult":
+    """One per-cell simulation with every stage tick timed.
+
+    Bit-identical to ``Simulator(workload, config).run()`` — the wrappers
+    forward arguments and state untouched; only wall time is observed.
+    """
+    from .engine import FrontEndEngine
+    from .results import SimulationResult
+
+    engine = FrontEndEngine(workload, config)
+    engine.stages = [  # type: ignore[assignment]
+        _TimedStage(stage, profiler) for stage in engine.stages
+    ]
+    raw = engine.run()
+    return SimulationResult(
+        workload=workload.name, mechanism=config.mechanism, raw=raw
+    )

@@ -305,7 +305,14 @@ class MissProbeBPU(BPUStage):
 
     name = "bpu+miss-probe"
 
-    __slots__ = ("mem", "btb_buf", "cfg", "predecode_latency", "throttle_blocks")
+    __slots__ = (
+        "mem",
+        "btb_buf",
+        "cfg",
+        "predecode_latency",
+        "throttle_blocks",
+        "_fill",
+    )
 
     def __init__(self, ctx: StageContext):
         super().__init__(ctx)
@@ -314,6 +321,10 @@ class MissProbeBPU(BPUStage):
         self.cfg = ctx.workload.cfg
         self.predecode_latency = ctx.config.core.predecode_latency
         self.throttle_blocks = ctx.config.prefetch.throttle_blocks
+        # Predecode entry point; a pure function of (cfg, block, miss_pc),
+        # so the batched engine rebinds it to a per-workload memo shared
+        # across lanes (BTBEntry is immutable — sharing results is safe).
+        self._fill = boomerang_fill
 
     def _advance_miss_probe(self, state: PipelineState, cycle: int) -> None:
         """One cycle of the in-flight BTB-miss probe state machine."""
@@ -323,7 +334,7 @@ class MissProbeBPU(BPUStage):
             return
         # Predecode the fetched block; walk forward if the block holds no
         # branch at/after the miss address.
-        filled, others = boomerang_fill(self.cfg, bmiss[1], bmiss[0])
+        filled, others = self._fill(self.cfg, bmiss[1], bmiss[0])
         btb_buf = self.btb_buf
         for pc_o, entry_o in others:
             btb_buf.insert(pc_o, entry_o)

@@ -35,18 +35,22 @@ class PredecodeFillArrival(FillArrival):
 
     name = "fill+predecode"
 
-    __slots__ = ("btb", "cfg")
+    __slots__ = ("btb", "cfg", "_predecode")
 
     def __init__(self, ctx: StageContext):
         super().__init__(ctx)
         self.btb = ctx.btb
         self.cfg = ctx.workload.cfg
+        # Pure function of (cfg, block); the batched engine rebinds it to
+        # a per-workload memo shared across lanes (entries are immutable).
+        self._predecode = predecode_block
 
     def tick(self, state: PipelineState, cycle: int) -> None:
         arrived = self.mem.drain_arrivals(cycle)
         if arrived:
             btb = self.btb
             cfg = self.cfg
+            predecode = self._predecode
             for block in arrived:
-                for pc, entry in predecode_block(cfg, block):
+                for pc, entry in predecode(cfg, block):
                     btb.insert(pc, entry)

@@ -6,9 +6,10 @@ Usage::
     python -m repro.experiments.sweeps show <name> [--scale S]
     python -m repro.experiments.sweeps run  <name> [--scale S]
         [--workload-set W] [--jobs N] [--cache-dir D] [--backend B]
-        [--no-table]
+        [--batch] [--batch-width N] [--profile-stages] [--no-table]
     python -m repro.experiments.sweeps run --resume <manifest>
-        [--jobs N] [--cache-dir D] [--backend B] [--no-table]
+        [--jobs N] [--cache-dir D] [--backend B] [--batch]
+        [--batch-width N] [--profile-stages] [--no-table]
 
 ``run`` executes the named grid through the shared experiment runtime —
 ``--jobs``/``--cache-dir``/``--backend`` configure it exactly like
@@ -17,6 +18,14 @@ sweep fans out over a process pool or the distributed broker the same
 way the figure modules do. The closing summary line reports unique jobs,
 simulations actually executed, disk hits, wall time and the backend's
 telemetry (for the broker: per-worker job counts, queue waits, retries).
+
+``--batch`` (or ``REPRO_BATCH``) groups same-workload cells into batched
+:class:`~repro.core.batch.BatchedEngine` runs of up to ``--batch-width``
+configs each; results are bit-identical and land in the per-cell cache
+under unchanged keys, so warm reruns, shards and ``--resume`` never see
+the difference. ``--profile-stages`` prints per-stage cycle/time
+attribution for whatever executed (per-cell or batched engines); it
+forces the serial backend because the collector is in-process.
 
 With a cache directory configured, ``run`` first writes a **manifest**
 (the resolved cell list — see :mod:`repro.experiments.sweeps.manifest`)
@@ -36,6 +45,7 @@ import sys
 import time
 from pathlib import Path
 
+from ...core import profiling
 from ...envopts import read_env
 from ...errors import ConfigError
 from ...runtime import backend_summary, configure_runtime, get_runtime
@@ -71,6 +81,25 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _start_profiling(args: argparse.Namespace):
+    """``--profile-stages``: install the collector; force serial execution.
+
+    Profiling accumulates in-process — pool and broker workers would keep
+    their timings in their own processes — so the serial backend is the
+    only one that can produce a complete table.
+    """
+    if not args.profile_stages:
+        return None
+    if args.backend not in (None, "serial"):
+        print(
+            f"note: --profile-stages forces the serial backend "
+            f"(--backend {args.backend} ignored)",
+            file=sys.stderr,
+        )
+    args.backend = "serial"
+    return profiling.enable()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume:
         return _cmd_resume(args)
@@ -78,8 +107,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("a sweep name (or --resume MANIFEST) is required", file=sys.stderr)
         return 2
     spec = get_sweep(args.name)
-    if args.jobs is not None or args.cache_dir is not None or args.backend is not None:
-        configure_runtime(jobs=args.jobs, cache_dir=args.cache_dir, backend=args.backend)
+    profiler = _start_profiling(args)
+    if any(
+        value is not None
+        for value in (
+            args.jobs,
+            args.cache_dir,
+            args.backend,
+            args.batch,
+            args.batch_width,
+        )
+    ):
+        configure_runtime(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            backend=args.backend,
+            batch=args.batch,
+            batch_width=args.batch_width,
+        )
     runtime = get_runtime()
     if runtime.cache_dir is not None:
         # The resolved grid, persisted before anything executes: an
@@ -94,10 +139,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # their SHA digests) after the run just for the summary is waste.
         unique_jobs = spec.job_count(get_scale(args.scale), args.workload_set)
     started = time.time()
-    result = spec.run(args.scale, args.workload_set)
+    try:
+        result = spec.run(args.scale, args.workload_set)
+    finally:
+        profiling.disable()
     elapsed = time.time() - started
     if not args.no_table:
         print(result.to_table())
+    if profiler is not None:
+        print(profiler.table())
     runtime = get_runtime()
     hits = runtime.disk.hits if runtime.disk is not None else 0
     print(
@@ -119,13 +169,20 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     manifest = load_manifest(args.resume)
     spec = get_sweep(manifest.sweep)
     verify_matches_spec(manifest, spec)
+    profiler = _start_profiling(args)
     cache_dir = args.cache_dir
     if cache_dir is None and not read_env("REPRO_CACHE_DIR"):
         # The manifest lives inside the cache it belongs to — infer it.
         parent = Path(args.resume).resolve().parent
         if parent.name == "manifests":
             cache_dir = str(parent.parent)
-    configure_runtime(jobs=args.jobs, cache_dir=cache_dir, backend=args.backend)
+    configure_runtime(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        backend=args.backend,
+        batch=args.batch,
+        batch_width=args.batch_width,
+    )
     runtime = get_runtime()
     if runtime.disk is None:
         print(
@@ -151,12 +208,17 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         f"already cached, submitting {len(missing)} missing]"
     )
     started = time.time()
-    if missing:
-        runtime.run_many(missing)
-    result = spec.run(manifest.scale, manifest.workload_set)
+    try:
+        if missing:
+            runtime.run_many(missing)
+        result = spec.run(manifest.scale, manifest.workload_set)
+    finally:
+        profiling.disable()
     elapsed = time.time() - started
     if not args.no_table:
         print(result.to_table())
+    if profiler is not None:
+        print(profiler.table())
     hits = runtime.disk.hits if runtime.disk is not None else 0
     print(
         f"[sweep {manifest.sweep}: resumed {len(missing)} of "
@@ -196,6 +258,22 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument(
         "--backend",
         help="serial|pool|broker|auto (or REPRO_BACKEND); broker needs --cache-dir",
+    )
+    p_run.add_argument(
+        "--batch",
+        action="store_true",
+        default=None,
+        help="group same-workload cells into batched engine runs (or REPRO_BATCH)",
+    )
+    p_run.add_argument(
+        "--batch-width",
+        type=int,
+        help="max configs per batched run, >= 2 (or REPRO_BATCH_WIDTH)",
+    )
+    p_run.add_argument(
+        "--profile-stages",
+        action="store_true",
+        help="print per-stage cycle/time attribution (forces --backend serial)",
     )
     p_run.add_argument(
         "--no-table", action="store_true", help="suppress the per-point table"

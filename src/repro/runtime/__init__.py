@@ -28,21 +28,28 @@ from .executors import (
     resolve_backend_name,
 )
 from .runner import (
+    DEFAULT_BATCH_WIDTH,
+    BatchJob,
     ExperimentRuntime,
     RuntimeOptions,
     SimJob,
     backend_summary,
     configure_runtime,
     estimate_job_cost,
+    execute_batch_job,
     execute_job,
+    execute_work,
     get_runtime,
+    plan_batch_units,
     resolve_options,
 )
 from .shards import WorkloadCompaction, compact_cache
 
 __all__ = [
     "BACKEND_NAMES",
+    "DEFAULT_BATCH_WIDTH",
     "SCHEMA_TAG",
+    "BatchJob",
     "BrokerBackend",
     "BrokerQueue",
     "CacheTagInfo",
@@ -60,9 +67,12 @@ __all__ = [
     "config_digest",
     "configure_runtime",
     "estimate_job_cost",
+    "execute_batch_job",
     "execute_job",
+    "execute_work",
     "get_runtime",
     "make_backend",
+    "plan_batch_units",
     "prune_cache",
     "resolve_backend_name",
     "resolve_options",

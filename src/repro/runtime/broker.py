@@ -77,10 +77,13 @@ from .confighash import canonicalize, config_digest
 from .faultpoints import maybe_fault
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
-    from .runner import SimJob
+    from .runner import WorkUnit
 
 #: Queue record format version (independent of the engine schema tag).
-BROKER_SCHEMA = "broker-v1"
+#: v2: batched work units — specs may carry ``configs``/``digests`` lists
+#: instead of a single ``config``, and their done records a ``results``
+#: list instead of a single ``result``.
+BROKER_SCHEMA = "broker-v2"
 
 #: Defaults, overridable via REPRO_BROKER_* (see :func:`broker_env_options`).
 DEFAULT_LEASE_SECONDS = 300.0
@@ -149,35 +152,66 @@ def config_from_canonical(obj: object) -> object:
     return obj
 
 
-def job_spec(job: SimJob) -> dict:
-    """The JSON job description a worker needs to execute ``job``."""
-    from .runner import estimate_job_cost
+def job_spec(job: WorkUnit) -> dict:
+    """The JSON work-unit description a worker needs to execute ``job``.
+
+    A single :class:`~repro.runtime.runner.SimJob` carries one ``config``;
+    a :class:`~repro.runtime.runner.BatchJob` carries ``configs`` and the
+    matching per-member ``digests`` (the unit's own ``digest`` is the
+    batch digest its job id is derived from).
+    """
+    from .runner import BatchJob, estimate_job_cost
 
     workload, scale_tok, digest = job.key
-    return {
+    spec = {
         "schema": BROKER_SCHEMA,
         "engine_schema": SCHEMA_TAG,
         "workload": workload,
         "scale": scale_tok,
-        "config": canonicalize(job.config),
         "digest": digest,
         "cost": estimate_job_cost(job),
         "enqueued_at": time.time(),
     }
+    if isinstance(job, BatchJob):
+        spec["configs"] = [canonicalize(config) for config in job.configs]
+        spec["digests"] = [config_digest(config) for config in job.configs]
+    else:
+        spec["config"] = canonicalize(job.config)
+    return spec
 
 
-def job_from_spec(spec: dict) -> SimJob:
-    """Rebuild the :class:`~repro.runtime.runner.SimJob` a spec describes.
-
-    The config digest is recomputed from the rebuilt config and checked
-    against the spec's — catching serialization drift or a worker running
-    different config code before it can produce a wrongly-keyed result.
-    """
-    from .runner import SimJob
-
-    config = config_from_canonical(spec["config"])
+def _rebuild_config(obj: object) -> SimConfig:
+    config = config_from_canonical(obj)
     if not isinstance(config, SimConfig):
         raise BrokerError("job spec config does not describe a SimConfig")
+    return config
+
+
+def job_from_spec(spec: dict) -> WorkUnit:
+    """Rebuild the work unit a spec describes.
+
+    Every config digest is recomputed from the rebuilt config and checked
+    against the spec's — catching serialization drift or a worker running
+    different config code before it can produce a wrongly-keyed result.
+    For a batched spec the member digests are checked individually (the
+    batch digest is derived from them, so it is covered transitively).
+    """
+    from .runner import BatchJob, SimJob
+
+    if "configs" in spec:
+        configs = tuple(_rebuild_config(obj) for obj in spec["configs"])
+        batch = BatchJob(spec["workload"], configs, float(spec["scale"]))
+        for config, expected in zip(configs, spec["digests"]):
+            if config_digest(config) != expected:
+                raise BrokerError(
+                    f"config digest mismatch for batch job "
+                    f"{spec['workload']!r}: the spec says {expected[:16]} "
+                    f"but this worker's code computes "
+                    f"{config_digest(config)[:16]} — submitter and worker "
+                    f"are running different repro versions"
+                )
+        return batch
+    config = _rebuild_config(spec["config"])
     job = SimJob(spec["workload"], config, float(spec["scale"]))
     if config_digest(config) != spec["digest"]:
         raise BrokerError(
@@ -264,13 +298,13 @@ class BrokerQueue:
             directory.mkdir(parents=True, exist_ok=True)
 
     @staticmethod
-    def job_id(job: SimJob) -> str:
+    def job_id(job: WorkUnit) -> str:
         workload, scale_tok, digest = job.key
         return f"{workload}__s{scale_tok}__{digest[:16]}"
 
     # ------------------------------------------------------------- enqueue
 
-    def enqueue(self, job: SimJob) -> str:
+    def enqueue(self, job: WorkUnit) -> str:
         """Make ``job`` runnable unless it is already visible anywhere.
 
         Racing submitters are harmless: both write identical specs, and a
@@ -394,11 +428,16 @@ class BrokerQueue:
     def complete(
         self,
         claimed: ClaimedJob,
-        result: SimulationResult,
+        result: SimulationResult | list[SimulationResult],
         worker_id: str,
         run_seconds: float,
     ) -> dict:
-        """Publish the result + telemetry, then release the claim."""
+        """Publish the result(s) + telemetry, then release the claim.
+
+        A batched unit publishes ``results`` — one entry per member
+        config, in config order — where a single job publishes
+        ``result``; the coordinator dispatches on which key is present.
+        """
         record = {
             "schema": BROKER_SCHEMA,
             "engine_schema": SCHEMA_TAG,
@@ -412,12 +451,19 @@ class BrokerQueue:
             ),
             "run_s": round(run_seconds, 6),
             "completed_at": time.time(),
-            "result": {
-                "workload": result.workload,
-                "mechanism": result.mechanism,
-                "raw": result.raw,
-            },
         }
+
+        def serialize(one: SimulationResult) -> dict:
+            return {
+                "workload": one.workload,
+                "mechanism": one.mechanism,
+                "raw": one.raw,
+            }
+
+        if isinstance(result, list):
+            record["results"] = [serialize(one) for one in result]
+        else:
+            record["result"] = serialize(result)
         atomic_write_json(self.done / f"{claimed.job_id}.json", record)
         claimed.path.unlink(missing_ok=True)
         return record
@@ -584,10 +630,10 @@ def execute_claimed(
     beater.start()
     started = time.time()
     try:
-        from .runner import execute_job
+        from .runner import execute_work
 
         job = job_from_spec(claimed.spec)
-        result = execute_job(job)
+        result = execute_work(job)
     except Exception as exc:  # noqa: BLE001 - any failure becomes a record
         stop.set()
         beater.join()
@@ -597,7 +643,16 @@ def execute_claimed(
     beater.join()
     record = queue.complete(claimed, result, worker_id, time.time() - started)
     if cache is not None:
-        cache.put(job.key[0], job.key[1], job.key[2], result)
+        # A batched unit mirrors each member under its own per-cell key —
+        # the cache never learns that cells were produced in a batch.
+        if isinstance(result, list):
+            from .runner import BatchJob
+
+            assert isinstance(job, BatchJob)
+            for member, one in zip(job.members, result):
+                cache.put(member.key[0], member.key[1], member.key[2], one)
+        else:
+            cache.put(job.key[0], job.key[1], job.key[2], result)
     return record
 
 
@@ -674,7 +729,11 @@ class BrokerBackend:
     def from_env(cls, cache_dir: str | os.PathLike) -> "BrokerBackend":
         return cls(cache_dir, **broker_env_options())
 
-    def run_batch(self, jobs: list) -> list[SimulationResult]:
+    def run_batch(
+        self, jobs: list
+    ) -> list[SimulationResult | list[SimulationResult]]:
+        from .runner import BatchJob
+
         deadline = time.time() + self.timeout if self.timeout else None
         order: list[str] = []
         self.reused_results = 0
@@ -683,18 +742,27 @@ class BrokerBackend:
             if self.queue.read_done(job_id) is not None:
                 # A surviving done record (e.g. an interrupted earlier
                 # batch) is the answer — nothing is (re-)executed for it.
-                self.reused_results += 1
+                # The counter is in member simulations, so a batched unit
+                # counts one reuse per lane.
+                self.reused_results += (
+                    len(job.configs) if isinstance(job, BatchJob) else 1
+                )
             else:
                 self.queue.enqueue(job)
             order.append(job_id)
         unresolved = dict.fromkeys(order)  # insertion-ordered job-id set
-        results: dict[str, SimulationResult] = {}
+        results: dict[str, SimulationResult | list[SimulationResult]] = {}
         self._job_records = []
         while unresolved:
             for job_id in list(unresolved):
                 record = self.queue.read_done(job_id)
                 if record is not None:
-                    results[job_id] = SimulationResult(**record["result"])
+                    if "results" in record:
+                        results[job_id] = [
+                            SimulationResult(**one) for one in record["results"]
+                        ]
+                    else:
+                        results[job_id] = SimulationResult(**record["result"])
                     self._job_records.append(record)
                     del unresolved[job_id]
                     continue
