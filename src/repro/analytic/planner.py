@@ -1,0 +1,166 @@
+"""Series grouping, anchor selection, and the hybrid dispatch plan.
+
+A batch of jobs decomposes into **series**: cells that differ *only* in
+LLC round-trip latency and BTB capacity — the two axes the closed-form
+model (:mod:`repro.analytic.model`) is fit over. The series key is the
+config digest with both axes pinned to sentinels, so any other knob
+(mechanism, predictor, FTQ depth, ...) starts a new series and the model
+never interpolates across semantics it was not calibrated for.
+
+Per series, the planner picks a small **anchor grid** — evenly spaced
+latencies × extreme BTB sizes, ``LATxBTB`` per ``REPRO_ANALYTIC_ANCHORS``
+(default ``3x2``) — always including each axis' endpoints, so every other
+cell *interpolates* inside the anchor hull. Series too small or too flat
+to calibrate (fewer than 3 distinct latencies, fewer than 2 distinct BTB
+sizes, or no cells left over to estimate) are passed through to the exact
+engine unchanged: the analytic tier refuses to guess where it cannot
+cross-validate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import SimConfig
+from ..errors import ConfigError
+from ..runtime.confighash import config_digest
+from ..runtime.runner import SimJob
+from ..workloads.profiles import get_profile
+from .model import N_FEATURES
+
+#: Default per-series anchor grid: 3 latency points × 2 BTB sizes.
+DEFAULT_ANCHOR_SPEC = "3x2"
+
+#: Axis sentinels the series key pins the modeled axes to. Arbitrary
+#: valid values — any two configs that agree after pinning are one series.
+_SENTINEL_LATENCY = 1
+_SENTINEL_BTB_ENTRIES = 2048
+
+
+def parse_anchor_spec(spec: str) -> tuple[int, int]:
+    """``"LATxBTB"`` → (latency anchors, BTB anchors), validated.
+
+    At least 3 latency × 2 BTB anchors are required: the model has
+    ``N_FEATURES`` coefficients and the leave-one-out bound refits on
+    one fewer anchor, so anything smaller cannot be cross-validated.
+    """
+    parts = spec.lower().split("x")
+    try:
+        lat_n, btb_n = (int(p) for p in parts)
+    except ValueError:
+        raise ConfigError(
+            f"anchor spec must be 'LATxBTB' (e.g. '3x2'), got {spec!r}"
+        ) from None
+    if lat_n < 3 or btb_n < 2 or lat_n * btb_n <= N_FEATURES:
+        raise ConfigError(
+            f"anchor spec needs >= 3 latency and >= 2 BTB anchors "
+            f"(> {N_FEATURES} total), got {spec!r}"
+        )
+    return lat_n, btb_n
+
+
+def series_key(config: SimConfig) -> str:
+    """Digest of the config with the two modeled axes pinned to sentinels."""
+    pinned = config.with_llc_latency(_SENTINEL_LATENCY).with_btb_entries(
+        _SENTINEL_BTB_ENTRIES
+    )
+    return config_digest(pinned)
+
+
+def cell_axes(job: SimJob) -> tuple[int, int]:
+    """A job's position on the modeled plane: (LLC round trip, BTB entries)."""
+    return (job.config.memory.llc_round_trip, job.config.btb.entries)
+
+
+def job_pressure(job: SimJob) -> float:
+    """The BTB-pressure feature of one job, at its workload scale."""
+    profile = get_profile(job.workload)
+    if job.workload_scale != 1.0:
+        profile = profile.scaled(job.workload_scale)
+    return profile.btb_pressure(job.config.btb.entries)
+
+
+def _spread(values: Sequence[int], count: int) -> tuple[int, ...]:
+    """``count`` evenly spaced picks from a sorted axis, endpoints included."""
+    if count >= len(values):
+        return tuple(values)
+    last = len(values) - 1
+    picks = {round(i * last / (count - 1)) for i in range(count)}
+    return tuple(values[i] for i in sorted(picks))
+
+
+@dataclass(frozen=True)
+class SeriesPlan:
+    """One modelable series: its cells and the anchors that calibrate it."""
+
+    workload: str
+    workload_scale: float
+    mechanism: str
+    series: str
+    cells: tuple[SimJob, ...]
+    anchors: tuple[SimJob, ...]
+
+    @property
+    def estimated(self) -> tuple[SimJob, ...]:
+        """The non-anchor cells the fitted model will synthesize."""
+        anchor_keys = {job.key for job in self.anchors}
+        return tuple(job for job in self.cells if job.key not in anchor_keys)
+
+
+def plan_series(
+    jobs: Sequence[SimJob], anchor_spec: str = DEFAULT_ANCHOR_SPEC
+) -> tuple[list[SeriesPlan], list[SimJob]]:
+    """Partition jobs into modelable series plus an exact passthrough list.
+
+    Returns ``(plans, passthrough)``: every job appears exactly once,
+    either as a cell of some plan or in the passthrough list. Jobs are
+    assumed deduplicated by key (the runtime's pending set is).
+    """
+    lat_n, btb_n = parse_anchor_spec(anchor_spec)
+    groups: dict[tuple[str, float, str], list[SimJob]] = {}
+    for job in jobs:
+        key = (job.workload, job.workload_scale, series_key(job.config))
+        groups.setdefault(key, []).append(job)
+    plans: list[SeriesPlan] = []
+    passthrough: list[SimJob] = []
+    for (workload, scale, series), cells in groups.items():
+        latencies = sorted({cell_axes(job)[0] for job in cells})
+        btbs = sorted({cell_axes(job)[1] for job in cells})
+        if len(latencies) < 3 or len(btbs) < 2:
+            passthrough.extend(cells)
+            continue
+        anchor_lats = set(_spread(latencies, lat_n))
+        anchor_btbs = set(_spread(btbs, btb_n))
+        anchors = tuple(
+            job
+            for job in cells
+            if cell_axes(job)[0] in anchor_lats
+            and cell_axes(job)[1] in anchor_btbs
+        )
+        # A sparse (non-product) grid can under-fill the anchor cross;
+        # and a series the anchors nearly cover has nothing worth
+        # estimating — both go exact rather than degrade the bound.
+        if len(anchors) <= N_FEATURES or len(anchors) >= len(cells):
+            passthrough.extend(cells)
+            continue
+        plans.append(
+            SeriesPlan(
+                workload=workload,
+                workload_scale=scale,
+                mechanism=cells[0].config.mechanism,
+                series=series,
+                cells=tuple(cells),
+                anchors=anchors,
+            )
+        )
+    return plans, passthrough
+
+
+def plan_summary(
+    plans: Sequence[SeriesPlan], passthrough: Sequence[SimJob]
+) -> tuple[int, int]:
+    """(exact cells, analytic cells) a plan would dispatch."""
+    exact = len(passthrough) + sum(len(p.anchors) for p in plans)
+    estimated = sum(len(p.estimated) for p in plans)
+    return exact, estimated

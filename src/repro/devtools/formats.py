@@ -93,6 +93,15 @@ GROUPS: tuple[GroupSpec, ...] = (
         funcs=("manifest_path",),
         dict_key_funcs=("write_manifest",),
     ),
+    GroupSpec(
+        group="analytic-store",
+        file="analytic/store.py",
+        tag_const="_SCHEMA_MAJOR",
+        consts=("_NAME_DIGEST_CHARS",),
+        regexes=("_TAG_DIR_RE",),
+        funcs=("_path",),
+        dict_key_funcs=("put",),
+    ),
 )
 
 

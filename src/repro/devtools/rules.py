@@ -134,6 +134,7 @@ _DURABLE_MODULES = (
     "runtime/shards.py",
     "workloads/tracestore.py",
     "experiments/sweeps/manifest.py",
+    "analytic/store.py",
 )
 
 _WRITE_MODES = re.compile(r"[wax+]")
@@ -676,6 +677,7 @@ def rule_registry_consistency(ctx: LintContext) -> list[Finding]:
     check_choices("REPRO_SCALE", "experiments/common.py", "SCALES")
     check_choices("REPRO_WORKLOAD_SET", "workloads/profiles.py", "PROFILE_SETS")
     check_choices("REPRO_BROKER_SCHEDULER", "runtime/broker.py", "SCHEDULERS")
+    check_choices("REPRO_FIDELITY", "analytic/__init__.py", "FIDELITY_NAMES")
 
     sweeps = ctx.get("experiments/sweeps/__init__.py")
     experiments = ctx.get("experiments/__init__.py")

@@ -85,6 +85,22 @@ REPRO_ENV_OPTIONS: dict[str, EnvOption] = {
             kind="int",
         ),
         EnvOption(
+            "REPRO_FIDELITY",
+            "result fidelity tier: exact | analytic | hybrid",
+            kind="choice",
+            choices=("exact", "analytic", "hybrid"),
+        ),
+        EnvOption(
+            "REPRO_ANALYTIC_ANCHORS",
+            "per-series calibration anchor grid 'LATxBTB' (default 3x2)",
+            kind="str",
+        ),
+        EnvOption(
+            "REPRO_ANALYTIC_MAX_ERR",
+            "hybrid: series above this error bound re-dispatch exact (0..1]",
+            kind="float",
+        ),
+        EnvOption(
             "REPRO_SCALE",
             "experiment scale: quick | default | full",
             kind="choice",

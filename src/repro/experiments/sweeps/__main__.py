@@ -3,10 +3,11 @@
 Usage::
 
     python -m repro.experiments.sweeps list [--scale S]
-    python -m repro.experiments.sweeps show <name> [--scale S]
+    python -m repro.experiments.sweeps show <name> [--scale S] [--fidelity F]
     python -m repro.experiments.sweeps run  <name> [--scale S]
         [--workload-set W] [--jobs N] [--cache-dir D] [--backend B]
-        [--batch] [--batch-width N] [--profile-stages] [--no-table]
+        [--batch] [--batch-width N] [--fidelity F] [--profile-stages]
+        [--no-table]
     python -m repro.experiments.sweeps run --resume <manifest>
         [--jobs N] [--cache-dir D] [--backend B] [--batch]
         [--batch-width N] [--profile-stages] [--no-table]
@@ -36,6 +37,16 @@ missing cells; the finished table is bit-identical to an uninterrupted
 run. Scale and workload set come from the manifest — passing ``--scale``
 or ``--workload-set`` alongside ``--resume`` is an error, and a manifest
 whose grid no longer matches the current sweep definition is refused.
+
+``--fidelity`` (or ``REPRO_FIDELITY``) selects the result tier
+(:mod:`repro.analytic`): ``exact`` runs every cell on the engine,
+``analytic`` calibrates a per-series model from a small anchor grid and
+synthesizes the rest, ``hybrid`` additionally re-dispatches
+high-uncertainty and extrapolating cells to the exact engine. The
+fidelity is frozen into the manifest, and ``--resume`` re-applies it —
+the flag is rejected alongside ``--resume`` for the same reason as
+``--scale``. ``show --fidelity hybrid`` previews the exact-vs-analytic
+cell split without running anything.
 """
 
 from __future__ import annotations
@@ -78,7 +89,57 @@ def _cmd_show(args: argparse.Namespace) -> int:
     if spec.exhibit:
         print(f"  re-expresses: {spec.exhibit} (python -m repro.experiments {spec.exhibit})")
     print(f"  jobs at scale={scale.name}: {spec.job_count(scale)}")
+    _show_costs(spec, scale, args)
     return 0
+
+
+def _show_costs(spec, scale, args: argparse.Namespace) -> None:
+    """Estimated cost (and, under hybrid, the exact/analytic split)."""
+    from ...runtime import SimJob, estimate_job_cost
+
+    jobs: list[SimJob] = []
+    seen: set[tuple[str, str, str]] = set()
+    for job in spec.jobs(scale, args.workload_set):
+        if job.key in seen:
+            continue
+        seen.add(job.key)
+        jobs.append(job)
+    by_workload: dict[str, list[int]] = {}
+    unknown = 0
+    for job in jobs:
+        cost = estimate_job_cost(job)
+        if cost is None:
+            unknown += 1
+        else:
+            by_workload.setdefault(job.workload, []).append(cost)
+    print("  estimated cost (trace instrs × LLC budget, relative units):")
+    total = 0
+    for workload in sorted(by_workload):
+        costs = by_workload[workload]
+        subtotal = sum(costs)
+        total += subtotal
+        print(
+            f"    {workload:<14s} {len(costs):4d} cells × "
+            f"[{min(costs):,} .. {max(costs):,}] per cell = {subtotal:,}"
+        )
+    if unknown:
+        print(f"    ({unknown} cells with unknown workload profile not counted)")
+    print(f"    total: {total:,} across {len(jobs)} unique cells")
+    if args.fidelity in ("analytic", "hybrid"):
+        from ...analytic import DEFAULT_ANCHOR_SPEC, plan_series, plan_summary
+
+        plans, passthrough = plan_series(jobs, DEFAULT_ANCHOR_SPEC)
+        exact, estimated = plan_summary(plans, passthrough)
+        print(
+            f"  fidelity={args.fidelity} split ({DEFAULT_ANCHOR_SPEC} anchors): "
+            f"{exact} exact-engine cells (anchors + passthrough), "
+            f"{estimated} analytic cells"
+            + (
+                " (hybrid may re-dispatch high-uncertainty cells exact)"
+                if args.fidelity == "hybrid"
+                else ""
+            )
+        )
 
 
 def _start_profiling(args: argparse.Namespace):
@@ -116,6 +177,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.backend,
             args.batch,
             args.batch_width,
+            args.fidelity,
         )
     ):
         configure_runtime(
@@ -124,13 +186,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             backend=args.backend,
             batch=args.batch,
             batch_width=args.batch_width,
+            fidelity=args.fidelity,
         )
     runtime = get_runtime()
     if runtime.cache_dir is not None:
         # The resolved grid, persisted before anything executes: an
         # interrupted run finishes with `run --resume <this file>`.
         manifest = write_manifest(
-            runtime.cache_dir, spec, args.scale, args.workload_set
+            runtime.cache_dir,
+            spec,
+            args.scale,
+            args.workload_set,
+            fidelity=runtime.fidelity,
         )
         unique_jobs = len(manifest.cells)
         print(f"[manifest: {manifest.path} — finish an interrupted run with --resume]")
@@ -150,19 +217,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(profiler.table())
     runtime = get_runtime()
     hits = runtime.disk.hits if runtime.disk is not None else 0
+    # The exact-fidelity line keeps its historical shape (CI smoke greps
+    # it); non-exact runs add the analytic-cell count.
+    estimated = (
+        f"{runtime.estimated} estimated ({runtime.fidelity}), "
+        if runtime.fidelity != "exact"
+        else ""
+    )
     print(
         f"[sweep {spec.name}: {unique_jobs} "
-        f"unique jobs, {runtime.executed} simulated, {hits} disk hits, "
+        f"unique jobs, {runtime.executed} simulated, {estimated}{hits} disk hits, "
         f"{elapsed:.1f}s, {backend_summary(runtime)}]"
     )
     return 0
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
-    if args.name is not None or args.scale or args.workload_set:
+    if args.name is not None or args.scale or args.workload_set or args.fidelity:
         print(
-            "--resume takes the sweep, scale and workload set from the "
-            "manifest; drop the extra arguments",
+            "--resume takes the sweep, scale, workload set and fidelity "
+            "from the manifest; drop the extra arguments",
             file=sys.stderr,
         )
         return 2
@@ -182,6 +256,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         backend=args.backend,
         batch=args.batch,
         batch_width=args.batch_width,
+        fidelity=manifest.fidelity,
     )
     runtime = get_runtime()
     if runtime.disk is None:
@@ -197,11 +272,17 @@ def _cmd_resume(args: argparse.Namespace) -> int:
             f"{manifest.engine_schema} (current: {SCHEMA_TAG}); every cell "
             f"misses the current cache, so the full grid re-runs"
         )
-    # Probe through a throwaway cache instance so the diff's reads do not
+    # Probe through throwaway store instances so the diff's reads do not
     # inflate the runtime's hit/miss telemetry in the summary line below.
+    from ...analytic.store import AnalyticStore
     from ...runtime.cache import ResultCache
 
-    missing = missing_cells(manifest, ResultCache(runtime.cache_dir))
+    analytic = (
+        AnalyticStore(runtime.cache_dir)
+        if manifest.fidelity != "exact"
+        else None
+    )
+    missing = missing_cells(manifest, ResultCache(runtime.cache_dir), analytic)
     cached = len(manifest.cells) - len(missing)
     print(
         f"[resume {manifest.sweep}: {cached}/{len(manifest.cells)} cells "
@@ -220,10 +301,15 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     if profiler is not None:
         print(profiler.table())
     hits = runtime.disk.hits if runtime.disk is not None else 0
+    estimated = (
+        f"{runtime.estimated} estimated ({runtime.fidelity}), "
+        if runtime.fidelity != "exact"
+        else ""
+    )
     print(
         f"[sweep {manifest.sweep}: resumed {len(missing)} of "
         f"{len(manifest.cells)} unique jobs, {runtime.executed} simulated, "
-        f"{hits} disk hits, {elapsed:.1f}s, {backend_summary(runtime)}]"
+        f"{estimated}{hits} disk hits, {elapsed:.1f}s, {backend_summary(runtime)}]"
     )
     return 0
 
@@ -242,6 +328,13 @@ def main(argv: list[str] | None = None) -> int:
     p_show = sub.add_parser("show", help="describe one sweep's grid")
     p_show.add_argument("name")
     p_show.add_argument("--scale", help="scale for job counts (or REPRO_SCALE)")
+    p_show.add_argument(
+        "--workload-set", help="paper|extended|all (or REPRO_WORKLOAD_SET)"
+    )
+    p_show.add_argument(
+        "--fidelity",
+        help="preview the exact-vs-analytic cell split for analytic|hybrid",
+    )
     p_show.set_defaults(func=_cmd_show)
 
     p_run = sub.add_parser("run", help="execute a sweep and print its table")
@@ -269,6 +362,10 @@ def main(argv: list[str] | None = None) -> int:
         "--batch-width",
         type=int,
         help="max configs per batched run, >= 2 (or REPRO_BATCH_WIDTH)",
+    )
+    p_run.add_argument(
+        "--fidelity",
+        help="exact|analytic|hybrid result tier (or REPRO_FIDELITY)",
     )
     p_run.add_argument(
         "--profile-stages",

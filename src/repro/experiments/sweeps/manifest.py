@@ -46,10 +46,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from ...analytic.store import AnalyticStore
 from ...config import SimConfig
+from ...envopts import env_str
 from ...errors import ConfigError
 from ...runtime import SimJob, canonicalize, config_digest
-from ...envopts import env_str
 from ...runtime.atomicio import atomic_write_json
 from ...runtime.broker import config_from_canonical
 from ...runtime.cache import SCHEMA_TAG, ResultCache
@@ -58,8 +59,10 @@ from ..common import get_scale
 if TYPE_CHECKING:  # pragma: no cover - cycle guard (__init__ is our parent)
     from . import SweepSpec
 
-#: Manifest record format version.
-MANIFEST_SCHEMA = "sweep-manifest-v1"
+#: Manifest record format version. v2 added the ``fidelity`` key: a
+#: resumed sweep must finish at the fidelity it started at, or its merged
+#: table would silently mix tiers.
+MANIFEST_SCHEMA = "sweep-manifest-v2"
 
 
 @dataclass(frozen=True)
@@ -101,6 +104,8 @@ class SweepManifest:
     spec_digest: str
     cells: list[ManifestCell]
     created_at: float
+    #: Fidelity tier the run was started at (``--resume`` re-applies it).
+    fidelity: str = "exact"
     path: Path | None = None
 
 
@@ -169,6 +174,7 @@ def write_manifest(
     spec: SweepSpec,
     scale_name: str | None = None,
     workload_set: str | None = None,
+    fidelity: str = "exact",
 ) -> SweepManifest:
     """Resolve the grid and atomically persist its manifest.
 
@@ -186,6 +192,7 @@ def write_manifest(
         spec_digest=cells_digest(cells),
         cells=cells,
         created_at=time.time(),
+        fidelity=fidelity,
     )
     path = manifest_path(cache_dir, manifest)
     record = {
@@ -196,6 +203,7 @@ def write_manifest(
         "engine_schema": manifest.engine_schema,
         "spec_digest": manifest.spec_digest,
         "created_at": manifest.created_at,
+        "fidelity": manifest.fidelity,
         "cells": [
             {
                 "workload": c.workload,
@@ -244,6 +252,7 @@ def load_manifest(path: str | os.PathLike) -> SweepManifest:
             spec_digest=record["spec_digest"],
             cells=cells,
             created_at=float(record.get("created_at", 0.0)),
+            fidelity=record.get("fidelity", "exact"),
             path=path,
         )
     except (KeyError, TypeError, ValueError) as exc:
@@ -275,17 +284,30 @@ def verify_matches_spec(manifest: SweepManifest, spec: SweepSpec) -> None:
 
 
 def missing_cells(
-    manifest: SweepManifest, cache: ResultCache
+    manifest: SweepManifest,
+    cache: ResultCache,
+    analytic: AnalyticStore | None = None,
 ) -> list[SimJob]:
     """The cells with no cached result — the only jobs a resume submits.
 
     Probes go through :class:`~repro.runtime.cache.ResultCache`, so a
     result is "present" whether it lives as a loose record or inside a
-    compacted shard. Each missing cell is rebuilt into a
-    :class:`~repro.runtime.SimJob` with its digest verified.
+    compacted shard. For a manifest written at a non-exact fidelity the
+    caller passes the analytic store too: an estimate satisfies such a
+    cell (that run would have synthesized it anyway), while an
+    exact-fidelity manifest never consults the analytic tier. Each
+    missing cell is rebuilt into a :class:`~repro.runtime.SimJob` with
+    its digest verified.
     """
-    return [
-        cell.job()
-        for cell in manifest.cells
-        if cache.get(cell.workload, cell.scale_tok, cell.digest) is None
-    ]
+
+    def present(cell: ManifestCell) -> bool:
+        if cache.get(cell.workload, cell.scale_tok, cell.digest) is not None:
+            return True
+        return (
+            analytic is not None
+            and manifest.fidelity != "exact"
+            and analytic.get(cell.workload, cell.scale_tok, cell.digest)
+            is not None
+        )
+
+    return [cell.job() for cell in manifest.cells if not present(cell)]

@@ -13,8 +13,11 @@ Usage::
 its record count (loose files plus shard entries) and size, marking the
 tag the running code would read (records under any other tag are
 unreachable — the engine fingerprint changed since they were written).
+Analytic-tier record tags (``analytic-v*`` — model-synthesized estimates,
+see ``repro.analytic.store``) are listed alongside the exact engine's.
 ``prune`` deletes those stale tags; pass ``--schema-tag`` to delete one
-specific tag instead (including the current one, to force cold runs).
+specific tag instead (including the current one, to force cold runs) —
+each tier only ever matches (and deletes) its own tag shape.
 
 ``compact`` folds the current tag's loose one-record files into one
 append-only shard per workload (``shard.jsonl`` — see
@@ -62,8 +65,10 @@ def _resolve_cache_dir(arg: str | None) -> str:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    from ..analytic.store import scan_analytic
+
     cache_dir = _resolve_cache_dir(args.cache_dir)
-    infos = scan_cache(cache_dir)
+    infos = scan_cache(cache_dir) + scan_analytic(cache_dir)
     print(f"result cache at {cache_dir} (current tag: {SCHEMA_TAG})")
     if not infos:
         print("  empty")
@@ -92,8 +97,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_prune(args: argparse.Namespace) -> int:
+    from ..analytic.store import prune_analytic
+
     cache_dir = _resolve_cache_dir(args.cache_dir)
-    targets = prune_cache(cache_dir, schema_tag=args.schema_tag, dry_run=True)
+    targets = prune_cache(
+        cache_dir, schema_tag=args.schema_tag, dry_run=True
+    ) + prune_analytic(cache_dir, schema_tag=args.schema_tag, dry_run=True)
     if not targets:
         target = args.schema_tag or "stale tags"
         print(f"nothing to prune ({target}) in {cache_dir}")
@@ -101,7 +110,9 @@ def _cmd_prune(args: argparse.Namespace) -> int:
     if args.dry_run:
         removed = targets
     else:
-        removed = prune_cache(cache_dir, schema_tag=args.schema_tag)
+        removed = prune_cache(
+            cache_dir, schema_tag=args.schema_tag
+        ) + prune_analytic(cache_dir, schema_tag=args.schema_tag)
     verb = "would remove" if args.dry_run else "removed"
     for info in removed:
         print(

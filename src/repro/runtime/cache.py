@@ -48,7 +48,11 @@ from .atomicio import atomic_write_json
 _SCHEMA_MAJOR = "engine-v1"
 
 #: Subpackages that cannot change simulation results (consumers of them).
-_NON_SEMANTIC_DIRS = ("experiments", "runtime", "analysis")
+#: ``analytic`` estimates results but never produces exact ones; its
+#: records carry their own tag (fingerprinting this one) in
+#: :mod:`repro.analytic.store`, so a model change orphans estimates
+#: without orphaning the exact records they were calibrated from.
+_NON_SEMANTIC_DIRS = ("experiments", "runtime", "analysis", "analytic")
 
 
 def _source_fingerprint() -> str:

@@ -41,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import os
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..config import SimConfig
 from ..core import profiling
@@ -53,6 +54,9 @@ from .cache import ResultCache
 from .confighash import config_digest, scale_token
 from .executors import make_backend, resolve_backend_name
 
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (analytic imports us)
+    from ..analytic.store import AnalyticStore
+
 #: Keys are (workload name, scale token, config digest).
 RunKey = tuple[str, str, str]
 
@@ -61,6 +65,14 @@ RunKey = tuple[str, str, str]
 #: small enough that one unit stays a reasonable work-stealing quantum
 #: for the broker and a reasonable pool task.
 DEFAULT_BATCH_WIDTH = 16
+
+#: Default fidelity tier (``REPRO_FIDELITY``): every cell exact.
+DEFAULT_FIDELITY = "exact"
+
+#: Default hybrid escalation threshold (``REPRO_ANALYTIC_MAX_ERR``): a
+#: series whose self-reported relative error bound exceeds this is
+#: re-dispatched to the exact engine under ``--fidelity hybrid``.
+DEFAULT_MAX_REL_ERR = 0.10
 
 
 @dataclass(frozen=True)
@@ -237,6 +249,9 @@ class RuntimeOptions:
     backend: str
     batch: bool = False
     batch_width: int = DEFAULT_BATCH_WIDTH
+    fidelity: str = DEFAULT_FIDELITY
+    anchors: str = "3x2"
+    max_rel_err: float = DEFAULT_MAX_REL_ERR
 
 
 def resolve_options(
@@ -245,6 +260,9 @@ def resolve_options(
     backend: str | None = None,
     batch: bool | None = None,
     batch_width: int | None = None,
+    fidelity: str | None = None,
+    anchors: str | None = None,
+    max_rel_err: float | None = None,
 ) -> RuntimeOptions:
     """Resolve runtime options with the documented precedence.
 
@@ -253,11 +271,17 @@ def resolve_options(
     read, so a stale or malformed ``REPRO_*`` value can never override or
     break an explicit choice. Otherwise the environment variable applies
     (``REPRO_JOBS``, ``REPRO_CACHE_DIR``, ``REPRO_BACKEND``,
-    ``REPRO_BATCH``, ``REPRO_BATCH_WIDTH``), and finally the default
-    (``1``, no cache, ``auto``, batching off, width 16). Validation
-    happens here for every entry path — constructor,
+    ``REPRO_BATCH``, ``REPRO_BATCH_WIDTH``, ``REPRO_FIDELITY``,
+    ``REPRO_ANALYTIC_ANCHORS``, ``REPRO_ANALYTIC_MAX_ERR``), and finally
+    the default (``1``, no cache, ``auto``, batching off, width 16,
+    ``exact`` fidelity, ``3x2`` anchors, 0.10 escalation bound).
+    Validation happens here for every entry path — constructor,
     :func:`configure_runtime`, CLI flags.
     """
+    # Imported lazily: repro.analytic's planner imports this module.
+    from ..analytic import FIDELITY_NAMES
+    from ..analytic.planner import DEFAULT_ANCHOR_SPEC, parse_anchor_spec
+
     if jobs is None:
         raw = env_str("REPRO_JOBS", "1")
         try:
@@ -301,12 +325,44 @@ def resolve_options(
             )
     elif batch_width < 2:
         raise ValueError("batch_width must be >= 2")
+    if fidelity is None:
+        fidelity = env_str("REPRO_FIDELITY", DEFAULT_FIDELITY)
+    if fidelity not in FIDELITY_NAMES:
+        raise ConfigError(
+            f"unknown fidelity {fidelity!r}: choose one of "
+            f"{', '.join(FIDELITY_NAMES)}"
+        )
+    if anchors is None:
+        anchors = env_str("REPRO_ANALYTIC_ANCHORS", DEFAULT_ANCHOR_SPEC)
+    parse_anchor_spec(anchors)  # validation only; stored as the spec string
+    if max_rel_err is None:
+        raw = env_str("REPRO_ANALYTIC_MAX_ERR")
+        if raw is None:
+            max_rel_err = DEFAULT_MAX_REL_ERR
+        else:
+            try:
+                max_rel_err = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_ANALYTIC_MAX_ERR must be a float in (0, 1], "
+                    f"got {raw!r}"
+                ) from None
+            if not 0.0 < max_rel_err <= 1.0:
+                raise ValueError(
+                    f"REPRO_ANALYTIC_MAX_ERR must be a float in (0, 1], "
+                    f"got {raw!r}"
+                )
+    elif not 0.0 < max_rel_err <= 1.0:
+        raise ValueError("max_rel_err must lie in (0, 1]")
     return RuntimeOptions(
         jobs=jobs,
         cache_dir=cache_dir,
         backend=backend,
         batch=batch,
         batch_width=batch_width,
+        fidelity=fidelity,
+        anchors=anchors,
+        max_rel_err=max_rel_err,
     )
 
 
@@ -320,6 +376,9 @@ class ExperimentRuntime:
         backend: str = "auto",
         batch: bool = False,
         batch_width: int = DEFAULT_BATCH_WIDTH,
+        fidelity: str = DEFAULT_FIDELITY,
+        anchors: str = "3x2",
+        max_rel_err: float = DEFAULT_MAX_REL_ERR,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -329,12 +388,28 @@ class ExperimentRuntime:
         self.batch = batch
         self.batch_width = batch_width
         self.backend = resolve_backend_name(backend)
+        self.fidelity = fidelity
+        self.anchors = anchors
+        self.max_rel_err = max_rel_err
         self.cache_dir: str | None = os.fspath(cache_dir) if cache_dir else None
         self.disk: ResultCache | None = (
             ResultCache(cache_dir) if cache_dir else None
         )
+        #: The analytic tier's store, opened only when a non-exact
+        #: fidelity can produce records — an exact-fidelity runtime never
+        #: even looks at the analytic tag directory.
+        self.analytic: AnalyticStore | None = None
+        if cache_dir and fidelity != "exact":
+            from ..analytic.store import AnalyticStore
+
+            self.analytic = AnalyticStore(cache_dir)
         self._memo: dict[RunKey, SimulationResult] = {}
+        #: Model-synthesized results, memoized strictly apart from exact
+        #: ones: nothing ever migrates between the two dicts.
+        self._analytic_memo: dict[RunKey, SimulationResult] = {}
         self.executed = 0
+        #: Cells answered by the analytic model instead of the engine.
+        self.estimated = 0
         #: Executor metadata from the most recent batch (broker telemetry,
         #: pool width); merged into the CLI's cache-metrics line.
         self.backend_telemetry: dict = {}
@@ -353,10 +428,37 @@ class ExperimentRuntime:
                 return stored
         return None
 
+    def _lookup_any(self, key: RunKey) -> SimulationResult | None:
+        """Exact tier first, then — under a non-exact fidelity — analytic.
+
+        Exact fidelity never consults the analytic tier, so an estimate
+        can never satisfy an exact lookup; the analytic tiers *do* accept
+        an exact result (strictly better than any estimate).
+        """
+        hit = self._lookup(key)
+        if hit is not None:
+            return hit
+        if self.fidelity == "exact":
+            return None
+        hit = self._analytic_memo.get(key)
+        if hit is not None:
+            return hit
+        if self.analytic is not None:
+            stored = self.analytic.get(*key)
+            if stored is not None:
+                self._analytic_memo[key] = stored
+                return stored
+        return None
+
     def _store(self, key: RunKey, result: SimulationResult) -> None:
         self._memo[key] = result
         if self.disk is not None:
             self.disk.put(*key, result)
+
+    def _store_analytic(self, key: RunKey, result: SimulationResult) -> None:
+        self._analytic_memo[key] = result
+        if self.analytic is not None:
+            self.analytic.put(*key, result)
 
     # ----------------------------------------------------------- execution
 
@@ -366,10 +468,16 @@ class ExperimentRuntime:
         config: SimConfig,
         workload_scale: float = 1.0,
     ) -> SimulationResult:
-        """Run (or fetch) a single simulation, always in-process."""
+        """Run (or fetch) a single simulation, always in-process.
+
+        A single cell is never worth a calibration pass, so a miss runs
+        exact whatever the fidelity — the analytic tiers only answer
+        :meth:`run_many` batches (and prior estimates found in the
+        analytic store).
+        """
         job = SimJob(workload, config, workload_scale)
         key = job.key
-        hit = self._lookup(key)
+        hit = self._lookup_any(key)
         if hit is not None:
             return hit
         result = execute_job(job)
@@ -383,21 +491,102 @@ class ExperimentRuntime:
         Duplicate jobs are deduplicated, cached jobs are resolved without
         executing, and the remaining misses run on the selected executor
         backend (process pool with ``jobs > 1`` by default; the broker
-        fans them out across worker processes/machines).
+        fans them out across worker processes/machines). Under the
+        ``analytic``/``hybrid`` fidelity tiers the misses are planned
+        into calibration anchors (run exact) plus model-synthesized
+        cells (:meth:`_run_estimated`).
         """
         keys = [job.key for job in jobs]
         pending: list[tuple[RunKey, SimJob]] = []
         seen: set[RunKey] = set()
         for key, job in zip(keys, jobs):
-            if key in seen or self._lookup(key) is not None:
+            if key in seen or self._lookup_any(key) is not None:
                 continue
             seen.add(key)
             pending.append((key, job))
         if pending:
-            batch = self._execute_batch(pending)
-            for (key, job), result in zip(pending, batch):
+            if self.fidelity == "exact":
+                batch = self._execute_batch(pending)
+                for (key, job), result in zip(pending, batch):
+                    self._store(key, result)
+            else:
+                self._run_estimated(pending)
+        return [self._result_for(key) for key in keys]
+
+    def _result_for(self, key: RunKey) -> SimulationResult:
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        return self._analytic_memo[key]
+
+    def _run_estimated(self, pending: list[tuple[RunKey, SimJob]]) -> None:
+        """The analytic/hybrid dispatch: calibrate, estimate, escalate.
+
+        1. Plan the misses into modelable series plus an exact
+           passthrough (:func:`repro.analytic.plan_series`).
+        2. Run every anchor (and passthrough cell) on the exact engine —
+           through :meth:`_execute_batch`, so anchors use the configured
+           backend and land in the exact cache like any job.
+        3. Fit each series and synthesize its non-anchor cells into the
+           analytic memo/store.
+        4. Escalate to exact: series the model refuses to fit; under
+           ``hybrid`` additionally whole series whose self-reported
+           error bound exceeds ``max_rel_err`` and any cell outside its
+           anchor hull (extrapolation carries no bound).
+        """
+        from ..analytic import (
+            AnalyticFitError,
+            AnchorPoint,
+            cell_axes,
+            fit_series,
+            job_pressure,
+            plan_series,
+        )
+
+        plans, passthrough = plan_series(
+            [job for _, job in pending], self.anchors
+        )
+        exact_jobs: list[SimJob] = list(passthrough)
+        for plan in plans:
+            exact_jobs.extend(plan.anchors)
+        if exact_jobs:
+            exact_pending = [(job.key, job) for job in exact_jobs]
+            batch = self._execute_batch(exact_pending)
+            for (key, job), result in zip(exact_pending, batch):
                 self._store(key, result)
-        return [self._memo[key] for key in keys]
+        escalated: list[SimJob] = []
+        for plan in plans:
+            anchor_points = [
+                AnchorPoint(
+                    latency=float(cell_axes(job)[0]),
+                    pressure=job_pressure(job),
+                    result=self._memo[job.key],
+                )
+                for job in plan.anchors
+            ]
+            try:
+                fit = fit_series(plan.workload, plan.mechanism, anchor_points)
+            except AnalyticFitError:
+                escalated.extend(plan.estimated)
+                continue
+            if self.fidelity == "hybrid" and fit.rel_err_bound > self.max_rel_err:
+                escalated.extend(plan.estimated)
+                continue
+            for job in plan.estimated:
+                latency = float(cell_axes(job)[0])
+                pressure = job_pressure(job)
+                if self.fidelity == "hybrid" and not fit.in_hull(
+                    latency, pressure
+                ):
+                    escalated.append(job)
+                    continue
+                self._store_analytic(job.key, fit.predict(latency, pressure))
+                self.estimated += 1
+        if escalated:
+            escalated_pending = [(job.key, job) for job in escalated]
+            batch = self._execute_batch(escalated_pending)
+            for (key, job), result in zip(escalated_pending, batch):
+                self._store(key, result)
 
     def _execute_batch(
         self, pending: list[tuple[RunKey, SimJob]]
@@ -506,6 +695,9 @@ def _from_options(options: RuntimeOptions) -> ExperimentRuntime:
         backend=options.backend,
         batch=options.batch,
         batch_width=options.batch_width,
+        fidelity=options.fidelity,
+        anchors=options.anchors,
+        max_rel_err=options.max_rel_err,
     )
 
 
@@ -523,6 +715,9 @@ def configure_runtime(
     backend: str | None = None,
     batch: bool | None = None,
     batch_width: int | None = None,
+    fidelity: str | None = None,
+    anchors: str | None = None,
+    max_rel_err: float | None = None,
 ) -> ExperimentRuntime:
     """Replace the process-wide runtime; unset options fall back to env.
 
@@ -539,7 +734,10 @@ def configure_runtime(
     """
     global _RUNTIME
     runtime = _from_options(
-        resolve_options(jobs, cache_dir, backend, batch, batch_width)
+        resolve_options(
+            jobs, cache_dir, backend, batch, batch_width,
+            fidelity, anchors, max_rel_err,
+        )
     )
     if cache_dir is not None and read_env("REPRO_TRACE_STORE") is None:
         configure_trace_store(cache_dir)

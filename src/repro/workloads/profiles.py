@@ -138,6 +138,28 @@ class WorkloadProfile:
         """Aggregate P(taken) of non-loop conditionals implied by the mixture."""
         return sum(w * p for w, p in self.bias_mixture)
 
+    @property
+    def est_static_branches(self) -> int:
+        """Rough static branch-site count implied by the footprint.
+
+        One terminator per basic block over the laid-out footprint
+        (4-byte instructions). A summary statistic for the analytic
+        model (:mod:`repro.analytic`), not a promise about the built
+        CFG — only its *ordering* across profiles and scales matters.
+        """
+        blocks = (self.code_kb * 1024) / (4.0 * self.avg_bb_instrs)
+        return max(1, int(blocks))
+
+    def btb_pressure(self, btb_entries: int) -> float:
+        """Dimensionless BTB over-subscription: ``log2(1 + sites/entries)``.
+
+        The feature the analytic model's capacity terms are linear in:
+        ~0 when the BTB swallows the branch working set, growing
+        logarithmically as the working set over-subscribes it — matching
+        the diminishing-returns shape of the paper's Figure 5 sweep.
+        """
+        return math.log2(1.0 + self.est_static_branches / max(1, btb_entries))
+
 
 NUTCH = WorkloadProfile(
     name="nutch",

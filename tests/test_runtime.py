@@ -236,6 +236,88 @@ class TestOptionPrecedence:
         with pytest.raises(ValueError, match="REPRO_JOBS"):
             resolve_options()
 
+    def test_fidelity_defaults(self, monkeypatch):
+        from repro.runtime import resolve_options
+
+        for var in (
+            "REPRO_FIDELITY",
+            "REPRO_ANALYTIC_ANCHORS",
+            "REPRO_ANALYTIC_MAX_ERR",
+        ):
+            monkeypatch.delenv(var, raising=False)
+        options = resolve_options()
+        assert options.fidelity == "exact"
+        assert options.anchors == "3x2"
+        assert options.max_rel_err == 0.10
+
+    def test_fidelity_env_beats_defaults(self, monkeypatch):
+        from repro.runtime import resolve_options
+
+        monkeypatch.setenv("REPRO_FIDELITY", "hybrid")
+        monkeypatch.setenv("REPRO_ANALYTIC_ANCHORS", "4x2")
+        monkeypatch.setenv("REPRO_ANALYTIC_MAX_ERR", "0.25")
+        options = resolve_options()
+        assert options.fidelity == "hybrid"
+        assert options.anchors == "4x2"
+        assert options.max_rel_err == 0.25
+
+    def test_fidelity_explicit_beats_env(self, monkeypatch):
+        from repro.runtime import resolve_options
+
+        monkeypatch.setenv("REPRO_FIDELITY", "hybrid")
+        monkeypatch.setenv("REPRO_ANALYTIC_ANCHORS", "4x3")
+        monkeypatch.setenv("REPRO_ANALYTIC_MAX_ERR", "0.25")
+        options = resolve_options(
+            fidelity="analytic", anchors="3x2", max_rel_err=0.05
+        )
+        assert options.fidelity == "analytic"
+        assert options.anchors == "3x2"
+        assert options.max_rel_err == 0.05
+
+    def test_fidelity_explicit_shields_stale_env(self, monkeypatch):
+        """Malformed REPRO_ANALYTIC_* values are not even read when the
+        corresponding kwarg is given."""
+        from repro.runtime import configure_runtime
+
+        monkeypatch.setenv("REPRO_FIDELITY", "bogus-tier")
+        monkeypatch.setenv("REPRO_ANALYTIC_ANCHORS", "not-a-grid")
+        monkeypatch.setenv("REPRO_ANALYTIC_MAX_ERR", "many")
+        runtime = configure_runtime(
+            fidelity="analytic", anchors="3x2", max_rel_err=0.2
+        )
+        assert runtime.fidelity == "analytic"
+        assert runtime.anchors == "3x2"
+        assert runtime.max_rel_err == 0.2
+
+    def test_stale_env_fidelity_lists_valid_names(self, monkeypatch):
+        from repro.analytic import FIDELITY_NAMES
+        from repro.errors import ConfigError
+        from repro.runtime import resolve_options
+
+        monkeypatch.setenv("REPRO_FIDELITY", "bogus-tier")
+        with pytest.raises(ConfigError) as err:
+            resolve_options()
+        for name in FIDELITY_NAMES:
+            assert name in str(err.value)
+
+    def test_invalid_env_anchors_rejected_when_consulted(self, monkeypatch):
+        from repro.errors import ConfigError
+        from repro.runtime import resolve_options
+
+        monkeypatch.setenv("REPRO_ANALYTIC_ANCHORS", "1x1")
+        with pytest.raises(ConfigError):
+            resolve_options()
+
+    def test_invalid_env_max_err_rejected_when_consulted(self, monkeypatch):
+        from repro.runtime import resolve_options
+
+        monkeypatch.setenv("REPRO_ANALYTIC_MAX_ERR", "many")
+        with pytest.raises(ValueError, match="REPRO_ANALYTIC_MAX_ERR"):
+            resolve_options()
+        monkeypatch.setenv("REPRO_ANALYTIC_MAX_ERR", "1.5")
+        with pytest.raises(ValueError, match="REPRO_ANALYTIC_MAX_ERR"):
+            resolve_options()
+
 
 class TestEngineCounters:
     def test_ftq_flushes_surfaced(self):
