@@ -62,6 +62,15 @@ def load_payloads(results_dir: Path) -> list[tuple[str, dict]]:
             continue
         if isinstance(payload, dict):
             payloads.append((name, payload))
+        else:
+            # Valid JSON that is not an object is just as malformed as
+            # unparseable bytes — dropping it silently would hide a broken
+            # benchmark from the report.
+            print(
+                f"warning: skipping malformed {path}: not a JSON object "
+                f"(got {type(payload).__name__})",
+                file=sys.stderr,
+            )
     return payloads
 
 

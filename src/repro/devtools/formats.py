@@ -102,6 +102,13 @@ GROUPS: tuple[GroupSpec, ...] = (
         funcs=("_path",),
         dict_key_funcs=("put",),
     ),
+    GroupSpec(
+        group="warehouse",
+        file="warehouse/core.py",
+        tag_const="WAREHOUSE_SCHEMA",
+        consts=("DB_NAME", "_DDL"),
+        funcs=("db_path",),
+    ),
 )
 
 

@@ -135,6 +135,8 @@ _DURABLE_MODULES = (
     "workloads/tracestore.py",
     "experiments/sweeps/manifest.py",
     "analytic/store.py",
+    "warehouse/core.py",
+    "warehouse/gate.py",
 )
 
 _WRITE_MODES = re.compile(r"[wax+]")
@@ -678,6 +680,27 @@ def rule_registry_consistency(ctx: LintContext) -> list[Finding]:
     check_choices("REPRO_WORKLOAD_SET", "workloads/profiles.py", "PROFILE_SETS")
     check_choices("REPRO_BROKER_SCHEDULER", "runtime/broker.py", "SCHEDULERS")
     check_choices("REPRO_FIDELITY", "analytic/__init__.py", "FIDELITY_NAMES")
+
+    wh_init = ctx.get("warehouse/__init__.py")
+    wh_queries = ctx.get("warehouse/queries.py")
+    if wh_init is not None and wh_queries is not None:
+        names_node = _module_assignments(wh_init.tree).get("QUERY_NAMES")
+        names = _literal_strings(names_node)
+        registry = _dict_string_keys(
+            _module_assignments(wh_queries.tree).get("QUERIES")
+        )
+        if (
+            names_node is not None
+            and names is not None
+            and registry is not None
+            and set(names) != set(registry)
+        ):
+            report(
+                wh_init,
+                names_node.lineno,
+                f"QUERY_NAMES disagrees with warehouse/queries.py:QUERIES "
+                f"({diff(names, registry)})",
+            )
 
     sweeps = ctx.get("experiments/sweeps/__init__.py")
     experiments = ctx.get("experiments/__init__.py")

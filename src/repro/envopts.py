@@ -157,6 +157,12 @@ REPRO_ENV_OPTIONS: dict[str, EnvOption] = {
             kind="str",
             owner="repro.runtime.faultpoints",
         ),
+        EnvOption(
+            "REPRO_WAREHOUSE_AUTOREFRESH",
+            "refresh the result warehouse after each cached sweep run",
+            kind="flag",
+            owner="repro.warehouse.core",
+        ),
     )
 }
 

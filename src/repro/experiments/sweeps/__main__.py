@@ -57,7 +57,7 @@ import time
 from pathlib import Path
 
 from ...core import profiling
-from ...envopts import read_env
+from ...envopts import env_flag, read_env
 from ...errors import ConfigError
 from ...runtime import backend_summary, configure_runtime, get_runtime
 from ...runtime.cache import SCHEMA_TAG
@@ -161,6 +161,35 @@ def _start_profiling(args: argparse.Namespace):
     return profiling.enable()
 
 
+def _maybe_refresh_warehouse(args: argparse.Namespace) -> None:
+    """``--refresh-warehouse`` / ``REPRO_WAREHOUSE_AUTOREFRESH``: fold the
+    run's results into the SQLite warehouse while they are fresh.
+
+    Needs a disk cache (there is nothing to consolidate otherwise); the
+    bench payloads are left alone — a sweep run changes cells, not
+    benchmark history.
+    """
+    wanted = (
+        args.refresh_warehouse
+        if args.refresh_warehouse is not None
+        else env_flag("REPRO_WAREHOUSE_AUTOREFRESH", False)
+    )
+    if not wanted:
+        return
+    runtime = get_runtime()
+    if runtime.cache_dir is None:
+        print(
+            "note: --refresh-warehouse needs a cache directory "
+            "(--cache-dir or REPRO_CACHE_DIR); skipped",
+            file=sys.stderr,
+        )
+        return
+    from ...warehouse import refresh_warehouse
+
+    stats = refresh_warehouse(runtime.cache_dir)
+    print(f"[warehouse: {stats.summary()}]")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume:
         return _cmd_resume(args)
@@ -229,6 +258,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"unique jobs, {runtime.executed} simulated, {estimated}{hits} disk hits, "
         f"{elapsed:.1f}s, {backend_summary(runtime)}]"
     )
+    _maybe_refresh_warehouse(args)
     return 0
 
 
@@ -311,6 +341,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         f"{len(manifest.cells)} unique jobs, {runtime.executed} simulated, "
         f"{estimated}{hits} disk hits, {elapsed:.1f}s, {backend_summary(runtime)}]"
     )
+    _maybe_refresh_warehouse(args)
     return 0
 
 
@@ -374,6 +405,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_run.add_argument(
         "--no-table", action="store_true", help="suppress the per-point table"
+    )
+    p_run.add_argument(
+        "--refresh-warehouse",
+        action="store_true",
+        default=None,
+        help=(
+            "consolidate the warehouse after the run "
+            "(or REPRO_WAREHOUSE_AUTOREFRESH); needs a cache directory"
+        ),
     )
     p_run.set_defaults(func=_cmd_run)
 

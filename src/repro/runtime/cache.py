@@ -52,7 +52,9 @@ _SCHEMA_MAJOR = "engine-v1"
 #: records carry their own tag (fingerprinting this one) in
 #: :mod:`repro.analytic.store`, so a model change orphans estimates
 #: without orphaning the exact records they were calibrated from.
-_NON_SEMANTIC_DIRS = ("experiments", "runtime", "analysis", "analytic")
+#: ``warehouse`` only *reads* the stores into its SQLite snapshot — an
+#: edit there must never orphan the records it consolidates.
+_NON_SEMANTIC_DIRS = ("experiments", "runtime", "analysis", "analytic", "warehouse")
 
 
 def _source_fingerprint() -> str:

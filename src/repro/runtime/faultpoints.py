@@ -18,6 +18,11 @@ one environment lookup. Points currently wired in:
 ``shard-entry``
     the shard rewriter has written N entries to its temp file (the
     rename has not happened; the live shard must stay untouched).
+``warehouse-refresh``
+    the warehouse consolidator is about to apply its Nth change inside
+    the refresh transaction (nothing may be durable until COMMIT; the
+    previous snapshot must stay readable and the next refresh must
+    converge with an exactly-once revision history).
 """
 
 from __future__ import annotations

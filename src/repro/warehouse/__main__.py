@@ -1,0 +1,224 @@
+"""Warehouse CLI: refresh, inspect, query, and gate the result warehouse.
+
+Usage::
+
+    python -m repro.warehouse refresh [--cache-dir DIR] [--results-dir DIR]
+    python -m repro.warehouse status  [--cache-dir DIR]
+    python -m repro.warehouse contour SWEEP [--scale NAME] [--workload-set NAME]
+    python -m repro.warehouse sensitivity [SWEEP] [--scale NAME] [...]
+    python -m repro.warehouse trajectory
+    python -m repro.warehouse gate --baseline FILE [--tolerance T] [--update]
+
+``refresh`` consolidates every readable result record (loose, sharded,
+analytic) plus the ``BENCH_*.json`` payloads into ``warehouse.sqlite``
+beside the schema-tag directories — idempotent, crash-safe, with a full
+per-refresh revision history (see ``repro.warehouse.core``). The query
+subcommands print Markdown tables straight from that snapshot; ``gate``
+compares the tracked benchmark metrics against a committed baseline and
+exits nonzero on drift.
+
+The cache directory comes from ``--cache-dir`` or ``REPRO_CACHE_DIR`` —
+the same resolution every other CLI in this repo uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..envopts import env_str
+from ..errors import ConfigError
+from .core import (
+    DEFAULT_RESULTS_DIR,
+    connect,
+    db_path,
+    read_status,
+    refresh_warehouse,
+)
+from .gate import run_gate
+from .queries import QUERIES
+
+
+def _resolve_cache_dir(arg: str | None) -> str:
+    cache_dir = arg or env_str("REPRO_CACHE_DIR", "")
+    if not cache_dir:
+        raise SystemExit(
+            "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR"
+        )
+    return cache_dir
+
+
+def _cmd_refresh(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    results_dir = None if args.no_bench else (args.results_dir or DEFAULT_RESULTS_DIR)
+    stats = refresh_warehouse(cache_dir, results_dir=results_dir)
+    print(f"[warehouse: {stats.summary()}]")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    path = db_path(cache_dir)
+    if not path.is_file():
+        print(f"no warehouse at {path} (run `python -m repro.warehouse refresh`)")
+        return 1
+    conn = connect(cache_dir)
+    try:
+        status = read_status(conn)
+    finally:
+        conn.close()
+    print(f"warehouse at {path} (schema {status.schema})")
+    for tag, fidelity, count in status.by_tag:
+        print(f"  {tag:<48s} {fidelity:<9s} {count:6d} active cell(s)")
+    print(
+        f"  {status.active_cells} active / {status.inactive_cells} inactive "
+        f"cell(s), {status.benches} bench payload(s), "
+        f"{status.refreshes} refresh(es), {status.revisions} revision(s)"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    if not db_path(cache_dir).is_file():
+        print(
+            f"no warehouse under {cache_dir} "
+            f"(run `python -m repro.warehouse refresh`)",
+            file=sys.stderr,
+        )
+        return 1
+    conn = connect(cache_dir)
+    try:
+        render = QUERIES[args.query]
+        print(
+            render(conn, args.sweep, args.scale, args.workload_set),
+            end="",
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        conn.close()
+    return 0
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    if not db_path(cache_dir).is_file():
+        print(
+            f"no warehouse under {cache_dir} "
+            f"(run `python -m repro.warehouse refresh`)",
+            file=sys.stderr,
+        )
+        return 1
+    conn = connect(cache_dir)
+    try:
+        code, lines = run_gate(
+            conn, args.baseline, tolerance=args.tolerance, update=args.update
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        conn.close()
+    for line in lines:
+        print(line)
+    return code
+
+
+def _add_query_parser(
+    sub: "argparse._SubParsersAction[argparse.ArgumentParser]",
+    name: str,
+    help_text: str,
+    sweep_default: str | None,
+    sweep_required: bool,
+) -> None:
+    p = sub.add_parser(name, help=help_text)
+    p.add_argument("--cache-dir", help="cache directory (or REPRO_CACHE_DIR)")
+    if sweep_required:
+        p.add_argument("sweep", help="sweep name (see `sweeps list`)")
+    else:
+        p.add_argument("sweep", nargs="?", default=sweep_default)
+    p.add_argument("--scale", help="experiment scale (or REPRO_SCALE)")
+    p.add_argument("--workload-set", help="profile set (default: the sweep's)")
+    p.set_defaults(func=_cmd_query, query=name)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.warehouse",
+        description=(
+            "consolidate simulation results into a queryable SQLite "
+            "warehouse; run canned queries and the CI regression gate"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_refresh = sub.add_parser(
+        "refresh", help="scan the stores and consolidate the warehouse"
+    )
+    p_refresh.add_argument("--cache-dir", help="cache directory (or REPRO_CACHE_DIR)")
+    p_refresh.add_argument(
+        "--results-dir",
+        help=f"BENCH_*.json payload directory (default: {DEFAULT_RESULTS_DIR})",
+    )
+    p_refresh.add_argument(
+        "--no-bench",
+        action="store_true",
+        help="skip benchmark payload ingestion",
+    )
+    p_refresh.set_defaults(func=_cmd_refresh)
+
+    p_status = sub.add_parser("status", help="show warehouse snapshot counts")
+    p_status.add_argument("--cache-dir", help="cache directory (or REPRO_CACHE_DIR)")
+    p_status.set_defaults(func=_cmd_status)
+
+    _add_query_parser(
+        sub,
+        "contour",
+        "per-mechanism speedup table over a sweep's knob grid",
+        sweep_default=None,
+        sweep_required=True,
+    )
+    _add_query_parser(
+        sub,
+        "sensitivity",
+        "per-workload × per-mechanism matrix for an axis-free sweep",
+        sweep_default="ablation-matrix",
+        sweep_required=False,
+    )
+    _add_query_parser(
+        sub,
+        "trajectory",
+        "benchmark payload history across refreshes",
+        sweep_default=None,
+        sweep_required=False,
+    )
+
+    p_gate = sub.add_parser(
+        "gate", help="compare tracked benchmark metrics against a baseline"
+    )
+    p_gate.add_argument("--cache-dir", help="cache directory (or REPRO_CACHE_DIR)")
+    p_gate.add_argument(
+        "--baseline", required=True, help="baseline JSON file (committed in the repo)"
+    )
+    p_gate.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative drift tolerance for numeric metrics (default 0.05)",
+    )
+    p_gate.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current snapshot instead of comparing",
+    )
+    p_gate.set_defaults(func=_cmd_gate)
+
+    args = parser.parse_args(argv)
+    result: int = args.func(args)
+    return result
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,38 @@ def spawn_compact(
     )
 
 
+def spawn_warehouse_refresh(
+    cache_dir: os.PathLike,
+    faultpoints: str | None = None,
+    results_dir: os.PathLike | None = None,
+) -> subprocess.Popen:
+    """Start a real ``python -m repro.warehouse refresh`` subprocess.
+
+    ``results_dir=None`` passes ``--no-bench`` so the refresh under test
+    touches only the caches the test populated, never the repo's
+    committed benchmark payloads.
+    """
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.warehouse",
+        "refresh",
+        "--cache-dir",
+        str(cache_dir),
+    ]
+    if results_dir is None:
+        cmd.append("--no-bench")
+    else:
+        cmd += ["--results-dir", str(results_dir)]
+    return subprocess.Popen(
+        cmd,
+        env=_subprocess_env(faultpoints),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
 def wait_exit(proc: subprocess.Popen, timeout: float = 180.0) -> int:
     """Block until the subprocess exits; kill and fail loudly on timeout."""
     try:

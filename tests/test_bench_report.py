@@ -1,0 +1,60 @@
+"""``scripts/bench_report.py``: malformed payloads warn, never vanish.
+
+The report used to drop a ``BENCH_*.json`` file that parsed to a
+non-object (a bare list, a number) without a word — a broken benchmark
+writer would silently disappear from the perf trajectory. Both malformed
+shapes must now warn on stderr while the report still renders from
+whatever is valid.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_report",
+    Path(__file__).resolve().parents[1] / "scripts" / "bench_report.py",
+)
+assert _SPEC is not None and _SPEC.loader is not None
+bench_report = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("bench_report", bench_report)
+_SPEC.loader.exec_module(bench_report)
+
+
+def _write(results_dir: Path, name: str, text: str) -> Path:
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(text)
+    return path
+
+
+def test_malformed_payloads_warn_on_stderr_but_report_renders(tmp_path, capsys):
+    _write(tmp_path, "good", json.dumps({"cells": 7, "speedup": 2.5}))
+    _write(tmp_path, "torn", '{"cells": 7, "spee')  # unparseable bytes
+    _write(tmp_path, "list", json.dumps([1, 2, 3]))  # valid JSON, wrong shape
+    payloads = bench_report.load_payloads(tmp_path)
+    assert [name for name, _ in payloads] == ["good"]
+    err = capsys.readouterr().err
+    assert "skipping unreadable" in err and "BENCH_torn.json" in err
+    assert "skipping malformed" in err and "BENCH_list.json" in err
+    assert "not a JSON object (got list)" in err
+
+
+def test_main_reports_valid_payloads_despite_malformed_neighbours(tmp_path, capsys):
+    _write(tmp_path, "good", json.dumps({"cells": 7, "speedup": 2.5}))
+    _write(tmp_path, "list", json.dumps("just a string"))
+    assert bench_report.main(["--results-dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "| good |" in captured.out
+    assert "| list |" not in captured.out  # no row for the malformed file
+    assert "not a JSON object (got str)" in captured.err
+
+
+def test_main_fails_when_nothing_is_valid(tmp_path, capsys):
+    _write(tmp_path, "list", json.dumps([1]))
+    assert bench_report.main(["--results-dir", str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    assert "no BENCH_*.json payloads" in captured.err

@@ -235,3 +235,87 @@ class TestCompactionKilledMidWrite:
         for line in lines:
             json.loads(line)  # every surviving line is complete
         _assert_all_readable(tmp_path, 6)
+
+
+class TestWarehouseRefreshKilledMidConsolidation:
+    """SIGKILL inside the warehouse consolidation transaction.
+
+    The contract (``repro.warehouse.core``): the whole refresh — the
+    provenance row, every cell mutation, every revision — commits
+    atomically, so a refresh killed at any instant (a) leaves the
+    previous snapshot fully readable and (b) contributes *zero* rows,
+    and the next refresh converges with an exactly-once change history.
+    """
+
+    def _status(self, cache_dir):
+        from repro.warehouse import connect, read_status
+
+        conn = connect(cache_dir)
+        try:
+            return read_status(conn)
+        finally:
+            conn.close()
+
+    def _integrity_ok(self, cache_dir) -> bool:
+        import sqlite3
+
+        from repro.warehouse import db_path
+
+        conn = sqlite3.connect(db_path(cache_dir))
+        try:
+            row = conn.execute("PRAGMA integrity_check").fetchone()
+            return row is not None and row[0] == "ok"
+        finally:
+            conn.close()
+
+    def test_first_refresh_killed_leaves_empty_snapshot_then_converges(
+        self, tmp_path
+    ):
+        from repro.warehouse import refresh_warehouse
+
+        cache = ResultCache(tmp_path)
+        _populate(cache, 0, 40)
+        proc = faultinject.spawn_warehouse_refresh(
+            tmp_path, faultpoints="warehouse-refresh:7"
+        )
+        assert faultinject.wait_exit(proc) == KILLED
+        # The snapshot survives the kill readable — and empty: the dead
+        # refresh committed nothing, not even its own provenance row.
+        assert self._integrity_ok(tmp_path)
+        status = self._status(tmp_path)
+        assert (status.active_cells, status.revisions, status.refreshes) == (0, 0, 0)
+        stats = refresh_warehouse(tmp_path)
+        assert (stats.inserted, stats.changes) == (40, 40)
+        assert self._status(tmp_path).revisions == 40  # exactly-once history
+        assert refresh_warehouse(tmp_path).changes == 0
+
+    def test_kill_mid_refresh_preserves_previous_snapshot(self, tmp_path):
+        from repro.warehouse import refresh_warehouse
+
+        cache = ResultCache(tmp_path)
+        _populate(cache, 0, 30)
+        refresh_warehouse(tmp_path)
+        _populate(cache, 30, 10)  # new results since the last consolidation
+        proc = faultinject.spawn_warehouse_refresh(
+            tmp_path, faultpoints="warehouse-refresh:4"
+        )
+        assert faultinject.wait_exit(proc) == KILLED
+        assert self._integrity_ok(tmp_path)
+        status = self._status(tmp_path)
+        # The pre-kill snapshot, bit for bit: 30 cells, their 30 insert
+        # revisions, the one completed refresh — nothing half-applied.
+        assert (status.active_cells, status.revisions, status.refreshes) == (
+            30,
+            30,
+            1,
+        )
+        stats = refresh_warehouse(tmp_path)
+        assert (stats.inserted, stats.unchanged) == (10, 30)
+        status = self._status(tmp_path)
+        assert (status.active_cells, status.revisions, status.refreshes) == (
+            40,
+            40,
+            2,
+        )
+        # Every record is still readable through the cache as well.
+        _assert_all_readable(tmp_path, 40)

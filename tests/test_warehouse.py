@@ -1,0 +1,567 @@
+"""Warehouse suite: consolidation state machine, queries, tiers, gate.
+
+The contracts under test, in order:
+
+* **Schema round-trip** — a warehouse written by this code is re-opened
+  by this code; one written under a different ``WAREHOUSE_SCHEMA`` is
+  refused, never misread.
+* **Consolidation state machine** — a seeded property test interleaves
+  cache puts/overwrites with ``compact`` / ``prune`` / stale-tag decay
+  and asserts, after every cycle, that the incrementally-refreshed
+  warehouse is *exactly* what a from-scratch rebuild of the same stores
+  produces (the ``test_shards.py`` idiom, lifted to the SQL layer).
+* **Layout independence** — the acceptance criterion: ``contour
+  dense-latency-btb`` renders bit-identically whether the cache is flat
+  loose records, compacted shards, or a mixed layout.
+* **Tier interplay** — analytic cells surface their
+  ``analytic_rel_err_bound`` and can never shadow an exact row (the PR 8
+  isolation invariant, enforced by the lookup SQL).
+* **Revision history** — every applied change writes exactly one
+  revision; converged refreshes write none.
+* **Gate** — tracked benchmark metrics drift → exit 1; within tolerance
+  → exit 0; ``--update`` round-trips.
+
+Golden fixtures live under ``tests/golden/`` and are compared
+bit-for-bit; regenerate them only for a deliberate format change.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import shutil
+import sqlite3
+from pathlib import Path
+
+import pytest
+
+from repro.analytic.store import ANALYTIC_SCHEMA_TAG, AnalyticStore
+from repro.core.results import SimulationResult
+from repro.errors import ConfigError
+from repro.experiments.common import get_scale
+from repro.experiments.sweeps import get_sweep
+from repro.runtime import SimJob, compact_cache
+from repro.runtime.cache import SCHEMA_TAG, ResultCache, prune_cache
+from repro.warehouse import (
+    QUERY_NAMES,
+    WAREHOUSE_SCHEMA,
+    connect,
+    db_path,
+    lookup_cell,
+    read_status,
+    refresh_warehouse,
+)
+from repro.warehouse.gate import collect_metrics, run_gate, write_baseline
+from repro.warehouse.queries import QUERIES, render_contour, render_trajectory
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+SCALE_TOK = "0.25"
+STALE_TAG = "engine-v1-000000000000"
+
+
+def _digest(rng: random.Random) -> str:
+    return "".join(rng.choice("0123456789abcdef") for _ in range(64))
+
+
+def _result(workload: str, cycles: float, mechanism: str = "fdip") -> SimulationResult:
+    return SimulationResult(
+        workload=workload,
+        mechanism=mechanism,
+        raw={"cycles": cycles, "retired_instrs": 1500.0},
+    )
+
+
+def _put_stale(cache_dir: Path, workload: str, digest: str, cycles: float) -> None:
+    """A loose record under a stale (pruneable) engine schema tag."""
+    path = cache_dir / STALE_TAG / workload / f"s{SCALE_TOK}__{digest[:16]}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {
+                "schema": STALE_TAG,
+                "workload": workload,
+                "scale": SCALE_TOK,
+                "config_digest": digest,
+                "mechanism": "fdip",
+                "raw": {"cycles": cycles, "retired_instrs": 1500.0},
+            }
+        )
+    )
+
+
+def _active_cells(cache_dir: Path) -> dict[tuple[str, str, str, str], str]:
+    """(workload, scale, digest, tag) -> raw JSON, active exact cells only."""
+    conn = connect(cache_dir)
+    try:
+        return {
+            (str(r[0]), str(r[1]), str(r[2]), str(r[3])): str(r[4])
+            for r in conn.execute(
+                "SELECT workload, scale, config_digest, schema_tag, raw"
+                " FROM cells WHERE active = 1"
+            )
+        }
+    finally:
+        conn.close()
+
+
+def _rebuild_active(cache_dir: Path, scratch: Path) -> dict[tuple[str, str, str, str], str]:
+    """A from-scratch warehouse over a copy of the same stores."""
+    clone = scratch / "rebuild"
+    if clone.exists():
+        shutil.rmtree(clone)
+    shutil.copytree(
+        cache_dir, clone, ignore=shutil.ignore_patterns("warehouse.sqlite*")
+    )
+    refresh_warehouse(clone)
+    return _active_cells(clone)
+
+
+# ---------------------------------------------------------------------------
+# Schema round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestSchema:
+    def test_empty_refresh_roundtrips(self, tmp_path):
+        stats = refresh_warehouse(tmp_path)
+        assert stats.changes == 0
+        conn = connect(tmp_path)
+        status = read_status(conn)
+        conn.close()
+        assert status.schema == WAREHOUSE_SCHEMA
+        assert status.active_cells == 0
+        assert status.refreshes == 1
+
+    def test_foreign_schema_is_refused(self, tmp_path):
+        connect(tmp_path).close()
+        raw = sqlite3.connect(db_path(tmp_path))
+        raw.execute("UPDATE meta SET value = 'warehouse-v0' WHERE key = 'schema'")
+        raw.commit()
+        raw.close()
+        with pytest.raises(ConfigError, match="warehouse-v0"):
+            connect(tmp_path)
+
+    def test_query_registry_matches_names(self):
+        assert set(QUERY_NAMES) == set(QUERIES)
+
+
+# ---------------------------------------------------------------------------
+# Consolidation state machine (property test)
+# ---------------------------------------------------------------------------
+
+
+class TestConsolidationStateMachine:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_interleaved_lifecycle_always_equals_rebuild(self, tmp_path, seed):
+        """Puts, overwrites, compaction, stale decay, pruning and repeated
+        refreshes, in random interleavings: after every cycle the
+        incrementally-consolidated warehouse must equal both the test's
+        own model of the stores and a from-scratch rebuild."""
+        rng = random.Random(seed)
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        cache = ResultCache(cache_dir)
+        workloads = ("wlA", "wlB", "wlC")
+        #: (workload, scale, digest, tag) -> cycles, mirroring the stores.
+        expected: dict[tuple[str, str, str, str], float] = {}
+        graveyard: dict[tuple[str, str, str, str], float] = {}
+        for cycle in range(6):
+            for _ in range(rng.randrange(1, 6)):
+                wl = rng.choice(workloads)
+                digest = _digest(rng)
+                cycles = float(rng.randrange(500, 5000))
+                cache.put(wl, SCALE_TOK, digest, _result(wl, cycles))
+                expected[(wl, SCALE_TOK, digest, SCHEMA_TAG)] = cycles
+            current = sorted(k for k in expected if k[3] == SCHEMA_TAG)
+            if current and rng.random() < 0.7:
+                key = rng.choice(current)
+                cycles = float(rng.randrange(5000, 9000))
+                cache.put(key[0], key[1], key[2], _result(key[0], cycles))
+                expected[key] = cycles
+            action = rng.choice(
+                ("compact", "stale-put", "prune-stale", "reactivate", "noop")
+            )
+            if action == "compact":
+                compact_cache(cache_dir)
+            elif action == "stale-put":
+                digest = _digest(rng)
+                cycles = float(rng.randrange(100, 400))
+                _put_stale(cache_dir, "wlA", digest, cycles)
+                expected[("wlA", SCALE_TOK, digest, STALE_TAG)] = cycles
+            elif action == "prune-stale":
+                prune_cache(cache_dir)
+                for key in [k for k in expected if k[3] == STALE_TAG]:
+                    graveyard[key] = expected.pop(key)
+            elif action == "reactivate" and graveyard:
+                key = rng.choice(sorted(graveyard))
+                cycles = graveyard.pop(key)
+                _put_stale(cache_dir, key[0], key[2], cycles)
+                expected[key] = cycles
+            refresh_warehouse(cache_dir)
+            active = _active_cells(cache_dir)
+            assert set(active) == set(expected), f"cycle {cycle} ({action})"
+            for key, raw_json in active.items():
+                assert json.loads(raw_json)["cycles"] == expected[key]
+            assert active == _rebuild_active(cache_dir, tmp_path)
+        # Converged: one more refresh applies nothing.
+        assert refresh_warehouse(cache_dir).changes == 0
+
+    def test_revision_history_is_exactly_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.put(f"wl{i}", SCALE_TOK, f"{i:064x}", _result(f"wl{i}", 1000.0 + i))
+        first = refresh_warehouse(tmp_path)
+        assert (first.inserted, first.changes) == (5, 5)
+        # Overwrite one, drop nothing: exactly one update revision.
+        cache.put("wl0", SCALE_TOK, f"{0:064x}", _result("wl0", 4242.0))
+        second = refresh_warehouse(tmp_path)
+        assert (second.inserted, second.updated, second.deactivated) == (0, 1, 0)
+        third = refresh_warehouse(tmp_path)
+        assert third.changes == 0
+        conn = connect(tmp_path)
+        try:
+            actions = [
+                (str(r[0]), int(r[1]))
+                for r in conn.execute(
+                    "SELECT action, COUNT(*) FROM revisions GROUP BY action"
+                    " ORDER BY action"
+                )
+            ]
+            assert actions == [("insert", 5), ("update", 1)]
+            assert read_status(conn).refreshes == 3
+        finally:
+            conn.close()
+
+    def test_prune_then_reput_is_deactivate_then_reactivate(self, tmp_path):
+        _put_stale(Path(tmp_path), "wl", "a" * 64, 777.0)
+        refresh_warehouse(tmp_path)
+        prune_cache(tmp_path)
+        stats = refresh_warehouse(tmp_path)
+        assert stats.deactivated == 1
+        _put_stale(Path(tmp_path), "wl", "a" * 64, 777.0)
+        stats = refresh_warehouse(tmp_path)
+        assert (stats.reactivated, stats.inserted) == (1, 0)
+        conn = connect(tmp_path)
+        try:
+            actions = [
+                str(r[0])
+                for r in conn.execute("SELECT action FROM revisions ORDER BY revision_id")
+            ]
+            assert actions == ["insert", "deactivate", "reactivate"]
+        finally:
+            conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Layout independence (the acceptance criterion) and golden queries
+# ---------------------------------------------------------------------------
+
+
+def _synthetic_records(sweep: str) -> list[tuple[str, str, str, str, dict]]:
+    """Deterministic synthetic results for every unique cell of a sweep.
+
+    Cycles are a pure function of (workload index, mechanism, llc, btb),
+    so the expected query output is frozen by the sweep definition alone —
+    independent of config digests, schema tags, or insertion order.
+    """
+    spec = get_sweep(sweep)
+    scale = get_scale("quick")
+    workloads = spec.workloads("paper")
+    records: dict[tuple[str, str, str], tuple[str, str, str, str, dict]] = {}
+    for point in spec.points(scale):
+        settings = dict(point.settings)
+        llc = int(str(settings.get("llc_latency", 30)))
+        btb = int(str(settings.get("btb_entries", 8192)))
+        for iw, wl in enumerate(workloads):
+            base_cycles = 1000.0 + 3.0 * llc + 7.0 * btb.bit_length() + 13.0 * iw
+            mech_factor = {"fdip": 0.84, "boomerang": 0.78}.get(point.mechanism, 0.9)
+            for cfg, mech, cycles in (
+                (point.baseline(), "none", base_cycles),
+                (point.config(), point.mechanism, base_cycles * mech_factor + llc / 8),
+            ):
+                key = SimJob(wl, cfg, scale.workload_scale).key
+                records[key] = (
+                    key[0],
+                    key[1],
+                    key[2],
+                    mech,
+                    {"cycles": cycles, "retired_instrs": 1200.0},
+                )
+    return list(records.values())
+
+
+def _seed_layout(
+    cache_dir: Path,
+    records: list[tuple[str, str, str, str, dict]],
+    layout: str,
+) -> None:
+    cache = ResultCache(cache_dir)
+    for wl, scale_tok, digest, mech, raw in records:
+        cache.put(wl, scale_tok, digest, SimulationResult(wl, mech, dict(raw)))
+    if layout in ("shard", "mixed"):
+        compact_cache(cache_dir)
+    if layout == "mixed":
+        # Every third record also gets a fresh loose copy beside the shard
+        # (the state right after new results land on a compacted cache).
+        for wl, scale_tok, digest, mech, raw in records[::3]:
+            cache.put(wl, scale_tok, digest, SimulationResult(wl, mech, dict(raw)))
+
+
+class TestLayoutIndependence:
+    def test_dense_contour_bit_identical_across_layouts(self, tmp_path):
+        records = _synthetic_records("dense-latency-btb")
+        assert len(records) == 720  # the full ROADMAP grid, baselines included
+        outputs = {}
+        for layout in ("flat", "shard", "mixed"):
+            cache_dir = tmp_path / layout
+            cache_dir.mkdir()
+            _seed_layout(cache_dir, records, layout)
+            refresh_warehouse(cache_dir)
+            conn = connect(cache_dir)
+            try:
+                assert read_status(conn).active_cells == 720
+                outputs[layout] = render_contour(
+                    conn, "dense-latency-btb", scale="quick", workload_set="paper"
+                )
+            finally:
+                conn.close()
+        assert outputs["flat"] == outputs["shard"] == outputs["mixed"]
+        assert "#### fdip" in outputs["flat"] and "#### boomerang" in outputs["flat"]
+        assert "no consolidated result yet" not in outputs["flat"]  # grid complete
+
+    def test_contour_smoke_matches_golden(self, tmp_path):
+        """The smoke-sweep contour, bit-for-bit against the committed
+        fixture. Only a deliberate rendering/format change may touch the
+        golden file."""
+        records = _synthetic_records("smoke")
+        _seed_layout(tmp_path, records, "flat")
+        refresh_warehouse(tmp_path)
+        conn = connect(tmp_path)
+        try:
+            output = render_contour(conn, "smoke", scale="quick", workload_set="paper")
+        finally:
+            conn.close()
+        golden = (GOLDEN_DIR / "contour_smoke.md").read_text()
+        assert output == golden
+
+
+# ---------------------------------------------------------------------------
+# Analytic/exact tier interplay at the SQL layer
+# ---------------------------------------------------------------------------
+
+
+def _analytic_result(workload: str, cycles: float, bound: float) -> SimulationResult:
+    return SimulationResult(
+        workload=workload,
+        mechanism="fdip",
+        raw={
+            "cycles": cycles,
+            "retired_instrs": 1500.0,
+            "analytic": 1.0,
+            "analytic_rel_err_bound": bound,
+        },
+    )
+
+
+class TestTierInterplay:
+    def test_exact_row_never_shadowed_by_analytic(self, tmp_path):
+        digest = "ab" * 32
+        ResultCache(tmp_path).put(
+            "wl", SCALE_TOK, digest, _result("wl", 1000.0)
+        )
+        AnalyticStore(tmp_path).put(
+            "wl", SCALE_TOK, digest, _analytic_result("wl", 900.0, 0.05)
+        )
+        refresh_warehouse(tmp_path)
+        conn = connect(tmp_path)
+        try:
+            status = read_status(conn)
+            assert status.active_cells == 2  # both tiers consolidated...
+            view = lookup_cell(conn, "wl", SCALE_TOK, digest)
+            assert view is not None
+            assert view.fidelity == "exact"  # ...but exact always wins
+            assert view.ipc == 1500.0 / 1000.0
+            assert view.rel_err_bound == 0.0
+            by_tier = dict(
+                (tag, count) for tag, _, count in status.by_tag
+            )
+            assert by_tier == {SCHEMA_TAG: 1, ANALYTIC_SCHEMA_TAG: 1}
+        finally:
+            conn.close()
+
+    def test_analytic_only_cell_surfaces_its_bound(self, tmp_path):
+        digest = "cd" * 32
+        AnalyticStore(tmp_path).put(
+            "wl", SCALE_TOK, digest, _analytic_result("wl", 800.0, 0.0123)
+        )
+        refresh_warehouse(tmp_path)
+        conn = connect(tmp_path)
+        try:
+            view = lookup_cell(conn, "wl", SCALE_TOK, digest)
+            assert view is not None
+            assert view.fidelity == "analytic"
+            assert view.rel_err_bound == 0.0123
+        finally:
+            conn.close()
+
+    def test_contour_marks_analytic_cells_and_reports_bound(self, tmp_path):
+        """Smoke grid with exact baselines but analytic mechanism cells:
+        every rendered value carries the ``~`` mark and the footer states
+        the worst combined error bound."""
+        spec = get_sweep("smoke")
+        scale = get_scale("quick")
+        workloads = spec.workloads("paper")
+        cache = ResultCache(tmp_path)
+        analytic = AnalyticStore(tmp_path)
+        for point in spec.points(scale):
+            for wl in workloads:
+                base_key = SimJob(wl, point.baseline(), scale.workload_scale).key
+                cache.put(*base_key, _result(wl, 1000.0, mechanism="none"))
+                mech_key = SimJob(wl, point.config(), scale.workload_scale).key
+                analytic.put(*mech_key, _analytic_result(wl, 800.0, 0.02))
+        refresh_warehouse(tmp_path)
+        conn = connect(tmp_path)
+        try:
+            output = render_contour(conn, "smoke", scale="quick", workload_set="paper")
+        finally:
+            conn.close()
+        assert "1.2500~" in output  # 1000/800, marked as estimated
+        assert "worst combined rel. err bound 0.0200" in output
+        assert "no consolidated result yet" not in output
+
+
+# ---------------------------------------------------------------------------
+# Bench ingestion, trajectory, and the regression gate
+# ---------------------------------------------------------------------------
+
+
+def _write_bench(results_dir: Path, name: str, payload: dict) -> None:
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+class TestBenchAndGate:
+    def test_trajectory_tracks_payload_changes(self, tmp_path):
+        results = tmp_path / "results"
+        _write_bench(results, "demo", {"cells": 10, "speedup": 2.0})
+        refresh_warehouse(tmp_path, results_dir=results)
+        refresh_warehouse(tmp_path, results_dir=results)  # unchanged: no row
+        _write_bench(results, "demo", {"cells": 10, "speedup": 2.5})
+        refresh_warehouse(tmp_path, results_dir=results)
+        conn = connect(tmp_path)
+        try:
+            history = conn.execute(
+                "SELECT refresh_id, speedup FROM bench_history ORDER BY refresh_id"
+            ).fetchall()
+            assert [(int(r[0]), float(r[1])) for r in history] == [(1, 2.0), (3, 2.5)]
+            output = render_trajectory(conn)
+        finally:
+            conn.close()
+        assert "| demo | 1 |" in output and "| demo | 3 |" in output
+        assert "2.5000" in output
+
+    def test_gate_passes_within_tolerance_and_fails_on_drift(self, tmp_path):
+        results = tmp_path / "results"
+        baseline = tmp_path / "baseline.json"
+        _write_bench(
+            results,
+            "demo",
+            {"cells": 100, "max_rel_err": 0.010, "bounds_ok": True, "speedup": 3.0},
+        )
+        refresh_warehouse(tmp_path, results_dir=results)
+        conn = connect(tmp_path)
+        try:
+            metrics = collect_metrics(conn)
+            # Wall-clock speedup is untracked by design; the rest are.
+            assert set(metrics) == {
+                "demo.cells",
+                "demo.max_rel_err",
+                "demo.bounds_ok",
+            }
+            code, _ = run_gate(conn, baseline, update=True)
+            assert code == 0
+            code, lines = run_gate(conn, baseline, tolerance=0.05)
+            assert code == 0 and lines[-1].startswith("gate passed")
+        finally:
+            conn.close()
+        # Drift one tracked metric past tolerance, flip the invariant bool.
+        _write_bench(
+            results,
+            "demo",
+            {"cells": 100, "max_rel_err": 0.020, "bounds_ok": False, "speedup": 3.0},
+        )
+        refresh_warehouse(tmp_path, results_dir=results)
+        conn = connect(tmp_path)
+        try:
+            code, lines = run_gate(conn, baseline, tolerance=0.05)
+        finally:
+            conn.close()
+        assert code == 1
+        report = "\n".join(lines)
+        assert "FAIL demo.max_rel_err" in report
+        assert "FAIL demo.bounds_ok" in report
+        assert "ok   demo.cells" in report
+
+    def test_gate_fails_when_tracked_bench_vanishes(self, tmp_path):
+        results = tmp_path / "results"
+        baseline = tmp_path / "baseline.json"
+        _write_bench(results, "gone", {"cells": 5})
+        refresh_warehouse(tmp_path, results_dir=results)
+        conn = connect(tmp_path)
+        try:
+            write_baseline(baseline, collect_metrics(conn))
+        finally:
+            conn.close()
+        (results / "BENCH_gone.json").unlink()
+        refresh_warehouse(tmp_path, results_dir=results)
+        conn = connect(tmp_path)
+        try:
+            code, lines = run_gate(conn, baseline)
+        finally:
+            conn.close()
+        assert code == 1
+        assert any("missing from warehouse" in line for line in lines)
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def _main(self, *argv: str) -> int:
+        from repro.warehouse.__main__ import main
+
+        return main(list(argv))
+
+    def test_refresh_status_roundtrip(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        cache.put("wl", SCALE_TOK, "e" * 64, _result("wl", 1000.0))
+        assert self._main("refresh", "--cache-dir", str(tmp_path), "--no-bench") == 0
+        out = capsys.readouterr().out
+        assert "+1 inserted" in out
+        assert self._main("status", "--cache-dir", str(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert WAREHOUSE_SCHEMA in out and "1 active" in out
+
+    def test_queries_and_gate_require_a_warehouse(self, tmp_path, capsys):
+        assert self._main("status", "--cache-dir", str(tmp_path)) == 1
+        assert (
+            self._main("trajectory", "--cache-dir", str(tmp_path)) == 1
+        )
+        baseline = tmp_path / "baseline.json"
+        assert (
+            self._main(
+                "gate", "--cache-dir", str(tmp_path), "--baseline", str(baseline)
+            )
+            == 1
+        )
+
+    def test_sensitivity_rejects_axis_sweeps(self, tmp_path, capsys):
+        refresh_warehouse(tmp_path)
+        assert (
+            self._main("sensitivity", "smoke", "--cache-dir", str(tmp_path)) == 1
+        )
+        err = capsys.readouterr().err
+        assert "knob axes" in err
