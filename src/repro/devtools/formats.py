@@ -78,6 +78,14 @@ GROUPS: tuple[GroupSpec, ...] = (
         dict_key_funcs=("job_spec", "complete", "_fail_terminal"),
     ),
     GroupSpec(
+        group="supervisor-state",
+        file="runtime/supervisor.py",
+        tag_const="SUPERVISOR_SCHEMA",
+        consts=("STATUS_SCHEMA", "CELL_STATES"),
+        funcs=("cell_job_id",),
+        dict_key_funcs=("_state_record", "build_status"),
+    ),
+    GroupSpec(
         group="trace-store",
         file="workloads/tracestore.py",
         tag_const="_SCHEMA_MAJOR",

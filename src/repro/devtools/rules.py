@@ -132,6 +132,7 @@ _DURABLE_MODULES = (
     "runtime/cache.py",
     "runtime/broker.py",
     "runtime/shards.py",
+    "runtime/supervisor.py",
     "workloads/tracestore.py",
     "experiments/sweeps/manifest.py",
     "analytic/store.py",

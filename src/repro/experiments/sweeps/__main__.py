@@ -7,7 +7,7 @@ Usage::
     python -m repro.experiments.sweeps run  <name> [--scale S]
         [--workload-set W] [--jobs N] [--cache-dir D] [--backend B]
         [--batch] [--batch-width N] [--fidelity F] [--profile-stages]
-        [--no-table]
+        [--no-table] [--serve]
     python -m repro.experiments.sweeps run --resume <manifest>
         [--jobs N] [--cache-dir D] [--backend B] [--batch]
         [--batch-width N] [--profile-stages] [--no-table]
@@ -57,7 +57,7 @@ import time
 from pathlib import Path
 
 from ...core import profiling
-from ...envopts import env_flag, read_env
+from ...envopts import env_flag, env_str, read_env
 from ...errors import ConfigError
 from ...runtime import backend_summary, configure_runtime, get_runtime
 from ...runtime.cache import SCHEMA_TAG
@@ -190,7 +190,68 @@ def _maybe_refresh_warehouse(args: argparse.Namespace) -> None:
     print(f"[warehouse: {stats.summary()}]")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``--serve``: hand the run to the supervised service mode.
+
+    The supervisor re-invokes ``sweeps run`` (without ``--serve``) as the
+    coordinator subprocess and autoscales broker workers around it — see
+    :func:`repro.runtime.supervisor.serve_sweep`. Pass-through flags that
+    shape the grid or the records travel to the coordinator; flags that
+    contradict service mode (``--resume``'s manifest replay,
+    ``--profile-stages``'s forced serial backend, a non-broker
+    ``--backend``) are rejected rather than silently ignored.
+    """
+    from ...runtime.supervisor import serve_sweep
+
+    if args.name is None:
+        print("a sweep name is required with --serve", file=sys.stderr)
+        return 2
+    if args.resume or args.profile_stages:
+        print(
+            "--serve cannot be combined with --resume or --profile-stages",
+            file=sys.stderr,
+        )
+        return 2
+    if args.backend not in (None, "broker"):
+        print(
+            f"--serve always runs the broker backend "
+            f"(--backend {args.backend} conflicts)",
+            file=sys.stderr,
+        )
+        return 2
+    cache_dir = args.cache_dir or env_str("REPRO_CACHE_DIR")
+    if not cache_dir:
+        print(
+            "--serve needs a cache directory: pass --cache-dir or set "
+            "REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    extra: list[str] = []
+    if args.jobs is not None:
+        extra += ["--jobs", str(args.jobs)]
+    if args.batch:
+        extra.append("--batch")
+    if args.batch_width is not None:
+        extra += ["--batch-width", str(args.batch_width)]
+    if args.fidelity:
+        extra += ["--fidelity", args.fidelity]
+    if args.no_table:
+        extra.append("--no-table")
+    if args.refresh_warehouse:
+        extra.append("--refresh-warehouse")
+    return serve_sweep(
+        args.name,
+        cache_dir,
+        scale=args.scale,
+        workload_set=args.workload_set,
+        coordinator_args=extra,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.serve:
+        return _cmd_serve(args)
     if args.resume:
         return _cmd_resume(args)
     if args.name is None:
@@ -405,6 +466,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_run.add_argument(
         "--no-table", action="store_true", help="suppress the per-point table"
+    )
+    p_run.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "run under the supervised service mode: autoscaled broker "
+            "workers around a coordinator subprocess (needs a cache dir)"
+        ),
     )
     p_run.add_argument(
         "--refresh-warehouse",

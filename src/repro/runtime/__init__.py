@@ -12,6 +12,9 @@ Public surface:
   backends (:data:`BACKEND_NAMES`, selected via ``REPRO_BACKEND``),
 * :class:`BrokerQueue` / :class:`BrokerBackend` / :func:`run_worker` — the
   file-based distributed job broker (also ``python -m repro.runtime worker``),
+* :class:`Supervisor` / :func:`serve_sweep` / :func:`build_status` — the
+  supervised service mode: autoscaled worker fleets and the live status
+  dashboard (``python -m repro.runtime status | serve``),
 * :func:`get_runtime` / :func:`configure_runtime` / :func:`resolve_options`
   — process-wide instance and the single option-precedence point.
 """
@@ -44,6 +47,16 @@ from .runner import (
     resolve_options,
 )
 from .shards import WorkloadCompaction, compact_cache
+from .supervisor import (
+    Supervisor,
+    SupervisorOptions,
+    build_status,
+    desired_workers,
+    render_status,
+    serve_sweep,
+    supervisor_options,
+    sweep_progress,
+)
 
 __all__ = [
     "BACKEND_NAMES",
@@ -60,12 +73,16 @@ __all__ = [
     "RuntimeOptions",
     "SerialBackend",
     "SimJob",
+    "Supervisor",
+    "SupervisorOptions",
     "WorkloadCompaction",
     "backend_summary",
+    "build_status",
     "canonicalize",
     "compact_cache",
     "config_digest",
     "configure_runtime",
+    "desired_workers",
     "estimate_job_cost",
     "execute_batch_job",
     "execute_job",
@@ -74,9 +91,13 @@ __all__ = [
     "make_backend",
     "plan_batch_units",
     "prune_cache",
+    "render_status",
     "resolve_backend_name",
     "resolve_options",
     "run_worker",
     "scale_token",
     "scan_cache",
+    "serve_sweep",
+    "supervisor_options",
+    "sweep_progress",
 ]

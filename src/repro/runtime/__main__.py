@@ -8,6 +8,12 @@ Usage::
     python -m repro.runtime worker  [--cache-dir DIR] [--worker-id ID]
                                     [--drain] [--max-idle SEC] [--max-jobs N]
     python -m repro.runtime queue   [--cache-dir DIR]
+    python -m repro.runtime status  [--cache-dir DIR] [--manifest FILE]
+                                    [--json] [--watch] [--interval SEC]
+    python -m repro.runtime serve   SWEEP [--cache-dir DIR] [--scale S]
+                                    [--workload-set W] [--min-workers N]
+                                    [--max-workers N] [--cooldown SEC]
+                                    [--backoff SEC] [--worker-idle SEC]
 
 ``list`` shows every schema-tag directory in the on-disk result cache with
 its record count (loose files plus shard entries) and size, marking the
@@ -32,6 +38,20 @@ leases left by crashed peers. ``--drain`` exits once the queue has been
 empty for ``--max-idle`` seconds (default 10). ``queue`` prints the
 per-state job counts of that directory.
 
+``status`` renders the service-mode dashboard (queue depths, per-worker
+throughput, live lease ages, cache/trace-store stats, supervisor state,
+and per-cell sweep progress with an ETA — see
+:mod:`repro.runtime.supervisor`): one shot by default, machine-readable
+with ``--json``, repainting atomically every ``--interval`` seconds with
+``--watch``. The sweep section follows ``--manifest`` when given, else
+the newest manifest under ``<cache-dir>/manifests/``.
+
+``serve`` runs a named sweep end to end under supervision: the sweep
+coordinator runs as a subprocess (stealing disabled) while the
+supervisor autoscales ``worker`` subprocesses against the backlog —
+crash restarts with bounded backoff included — and winds the fleet down
+to zero afterwards. Results are bit-identical to hand-started workers.
+
 The cache directory comes from ``--cache-dir`` or the ``REPRO_CACHE_DIR``
 environment variable — the same resolution the experiment runner uses.
 """
@@ -39,9 +59,11 @@ environment variable — the same resolution the experiment runner uses.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from ..envopts import env_str
+from ..errors import ConfigError
 from .broker import BrokerQueue, run_worker
 from .cache import SCHEMA_TAG, prune_cache, scan_cache
 from .shards import compact_cache
@@ -182,6 +204,44 @@ def _cmd_queue(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .supervisor import build_status, render_status, watch_status
+
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    if args.watch:
+        return watch_status(cache_dir, args.manifest, interval=args.interval)
+    status = build_status(cache_dir, args.manifest)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(render_status(status))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .supervisor import serve_sweep, supervisor_options
+
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    try:
+        options = supervisor_options(
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            cooldown_seconds=args.cooldown,
+            backoff_seconds=args.backoff,
+            worker_idle_seconds=args.worker_idle,
+        )
+        return serve_sweep(
+            args.sweep,
+            cache_dir,
+            scale=args.scale,
+            workload_set=args.workload_set,
+            options=options,
+        )
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime",
@@ -241,6 +301,66 @@ def main(argv: list[str] | None = None) -> int:
     p_queue = sub.add_parser("queue", help="show broker queue state counts")
     p_queue.add_argument("--cache-dir", help="cache directory (or REPRO_CACHE_DIR)")
     p_queue.set_defaults(func=_cmd_queue)
+
+    p_status = sub.add_parser(
+        "status", help="service-mode dashboard: queue, workers, sweep ETA"
+    )
+    p_status.add_argument("--cache-dir", help="cache directory (or REPRO_CACHE_DIR)")
+    p_status.add_argument(
+        "--manifest",
+        help="sweep manifest to report progress against (default: newest)",
+    )
+    p_status.add_argument(
+        "--json", action="store_true", help="print the snapshot as JSON"
+    )
+    p_status.add_argument(
+        "--watch",
+        action="store_true",
+        help="repaint the dashboard until interrupted",
+    )
+    p_status.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch repaints (default 2)",
+    )
+    p_status.set_defaults(func=_cmd_status)
+
+    p_serve = sub.add_parser(
+        "serve", help="run a sweep under a supervised autoscaling worker fleet"
+    )
+    p_serve.add_argument("sweep", help="named sweep to run (see sweeps list)")
+    p_serve.add_argument("--cache-dir", help="cache directory (or REPRO_CACHE_DIR)")
+    p_serve.add_argument("--scale", help="quick|default|full (or REPRO_SCALE)")
+    p_serve.add_argument(
+        "--workload-set", help="paper|extended|all (or REPRO_WORKLOAD_SET)"
+    )
+    p_serve.add_argument(
+        "--min-workers",
+        type=int,
+        help="persistent fleet floor (or REPRO_SUPERVISOR_MIN; default 0)",
+    )
+    p_serve.add_argument(
+        "--max-workers",
+        type=int,
+        help="fleet ceiling (or REPRO_SUPERVISOR_MAX; default 4)",
+    )
+    p_serve.add_argument(
+        "--cooldown",
+        type=float,
+        help="seconds between scale-up rounds (or REPRO_SUPERVISOR_COOLDOWN)",
+    )
+    p_serve.add_argument(
+        "--backoff",
+        type=float,
+        help="base crash-restart delay (or REPRO_SUPERVISOR_BACKOFF)",
+    )
+    p_serve.add_argument(
+        "--worker-idle",
+        type=float,
+        help="surge-worker --max-idle seconds (or REPRO_SUPERVISOR_IDLE)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

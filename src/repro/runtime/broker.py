@@ -83,7 +83,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
 #: v2: batched work units — specs may carry ``configs``/``digests`` lists
 #: instead of a single ``config``, and their done records a ``results``
 #: list instead of a single ``result``.
-BROKER_SCHEMA = "broker-v2"
+#: v3: requeue-aware wait telemetry — requeued specs carry ``requeued_at``,
+#: done records report ``queue_wait_s`` from the *latest* (re)queue time
+#: and the new ``age_s`` from the original ``enqueued_at``.
+BROKER_SCHEMA = "broker-v3"
 
 #: Defaults, overridable via REPRO_BROKER_* (see :func:`broker_env_options`).
 DEFAULT_LEASE_SECONDS = 300.0
@@ -237,6 +240,12 @@ class ClaimedJob:
     path: Path  # current location in claimed/
     spec: dict
     claimed_at: float
+    #: When the job last became runnable — the pending file's mtime at
+    #: claim time. A fresh enqueue writes the file then, a retry requeue
+    #: rewrites it then, and lease recovery touches it then, so this is
+    #: the *latest* (re)queue time: the basis for an honest
+    #: ``queue_wait_s`` that never absorbs a prior attempt's run time.
+    runnable_at: float
 
 
 def _job_filename(job_id: str, cost: int | None, attempts: int) -> str:
@@ -329,9 +338,14 @@ class BrokerQueue:
         interrupted run that predates a source change) is dead weight —
         its claimer would only terminal-fail it on the schema check — so
         it is deleted here and reported not-visible, letting the caller
-        enqueue a fresh current-schema spec instead.
+        enqueue a fresh current-schema spec instead. A *claimed* spec in
+        the same situation whose lease has expired (its old-schema owner
+        crashed) is equally dead weight and gets the same treatment;
+        while its lease is live it stays visible — a running worker is
+        never robbed, even a doomed one.
         """
         visible = False
+        now = time.time()
         for directory in (self.pending, self.claimed):
             try:
                 names = os.listdir(directory)
@@ -343,12 +357,19 @@ class BrokerQueue:
                 parsed = _parse_job_name(name)
                 if parsed is None or parsed[0] != job_id:
                     continue
-                if directory is self.pending:
-                    spec = _read_json(directory / name)
-                    if (
-                        spec is not None
-                        and spec.get("engine_schema") != SCHEMA_TAG
-                    ):
+                spec = _read_json(directory / name)
+                if spec is not None and spec.get("engine_schema") != SCHEMA_TAG:
+                    if directory is self.pending:
+                        (directory / name).unlink(missing_ok=True)
+                        continue
+                    try:
+                        expired = (
+                            now - (directory / name).stat().st_mtime
+                            > self.lease_seconds
+                        )
+                    except OSError:
+                        continue  # released or recovered concurrently
+                    if expired:
                         (directory / name).unlink(missing_ok=True)
                         continue
                 visible = True
@@ -398,6 +419,10 @@ class BrokerQueue:
             dst = self.claimed / name
             now = time.time()
             try:
+                # The pending file's mtime is when the job last became
+                # runnable (enqueue write, retry rewrite, or recovery
+                # touch) — captured before the lease touch below erases it.
+                runnable_at = src.stat().st_mtime
                 # Start the lease clock BEFORE the rename: the rename
                 # preserves mtime, and a job that sat pending longer than
                 # the lease would otherwise arrive in claimed/ already
@@ -412,7 +437,14 @@ class BrokerQueue:
                 self._fail_terminal(job_id, attempts, "unreadable job spec")
                 dst.unlink(missing_ok=True)
                 continue
-            return ClaimedJob(job_id, attempts, dst, spec, claimed_at=now)
+            return ClaimedJob(
+                job_id,
+                attempts,
+                dst,
+                spec,
+                claimed_at=now,
+                runnable_at=min(runnable_at, now),
+            )
         return None
 
     def heartbeat(self, claimed: ClaimedJob) -> None:
@@ -437,6 +469,12 @@ class BrokerQueue:
         A batched unit publishes ``results`` — one entry per member
         config, in config order — where a single job publishes
         ``result``; the coordinator dispatches on which key is present.
+
+        ``queue_wait_s`` measures from the job's *latest* (re)queue time
+        (:attr:`ClaimedJob.runnable_at`), so a retried job's wait never
+        absorbs a prior attempt's run time or the lease-expiry window;
+        ``age_s`` keeps the end-to-end view from the original
+        ``enqueued_at``.
         """
         record = {
             "schema": BROKER_SCHEMA,
@@ -446,7 +484,14 @@ class BrokerQueue:
             "worker": worker_id,
             "attempts": claimed.attempts + 1,
             "queue_wait_s": round(
-                max(0.0, claimed.claimed_at - claimed.spec.get("enqueued_at", claimed.claimed_at)),
+                max(0.0, claimed.claimed_at - claimed.runnable_at), 6
+            ),
+            "age_s": round(
+                max(
+                    0.0,
+                    claimed.claimed_at
+                    - claimed.spec.get("enqueued_at", claimed.claimed_at),
+                ),
                 6,
             ),
             "run_s": round(run_seconds, 6),
@@ -488,6 +533,11 @@ class BrokerQueue:
             return False
         spec = dict(claimed.spec)
         spec["last_error"] = error
+        # The rewrite stamps both the spec and (via the fresh file's
+        # mtime) the queue timestamp, so the next claimer's
+        # ``runnable_at`` — and thus ``queue_wait_s`` — starts here, not
+        # at the original enqueue.
+        spec["requeued_at"] = time.time()
         name = _job_filename(claimed.job_id, spec.get("cost"), attempts)
         atomic_write_json(self.pending / name, spec)
         claimed.path.unlink(missing_ok=True)
@@ -513,8 +563,12 @@ class BrokerQueue:
         Safe to call from any participant at any time: the requeue is an
         atomic rename (one recoverer wins), a claim whose job already has
         a done record is just a leftover to delete, and a job that has
-        exhausted its attempts goes to ``failed/`` instead. Returns how
-        many jobs changed state.
+        exhausted its attempts goes to ``failed/`` instead. An expired
+        claim whose spec was written by an *older engine schema* (a
+        worker running pre-source-change code that crashed) is deleted
+        rather than requeued — its next claimer could only terminal-fail
+        it on the schema check, poisoning a fresh resubmission of the
+        same job id. Returns how many jobs changed state.
         """
         recovered = 0
         try:
@@ -539,9 +593,16 @@ class BrokerQueue:
                 continue  # released or recovered concurrently
             if not expired:
                 continue
+            spec = _read_json(path)
+            if spec is not None and spec.get("engine_schema") != SCHEMA_TAG:
+                # Dead weight from a crashed old-schema worker: purge it
+                # (like a stale pending spec) so a current-schema spec
+                # can be enqueued in its place.
+                path.unlink(missing_ok=True)
+                recovered += 1
+                continue
             next_attempts = attempts + 1
             if next_attempts >= self.max_attempts:
-                spec = _read_json(path)
                 error = (spec or {}).get("last_error") or (
                     f"lease expired {next_attempts} times (worker crash?)"
                 )
@@ -550,6 +611,13 @@ class BrokerQueue:
                 recovered += 1
                 continue
             try:
+                # Touch before the rename (which preserves mtime), so the
+                # requeued pending file's mtime — the next claimer's
+                # ``runnable_at`` — is the recovery time, not the dead
+                # worker's last heartbeat. The spec itself cannot be
+                # rewritten here: the atomic rename is what guarantees
+                # exactly one recoverer wins.
+                os.utime(path, (now, now))
                 os.rename(
                     path, self.pending / _job_filename(job_id, cost, next_attempts)
                 )
@@ -821,6 +889,21 @@ class BrokerBackend:
 # Stand-alone worker loop (``python -m repro.runtime worker``)
 # ---------------------------------------------------------------------------
 
+#: In drain mode, a non-empty ``claimed/`` extends the idle allowance to
+#: this many leases: long enough for a crashed peer's lease to expire and
+#: its job to requeue (which this worker's own ``recover_expired`` then
+#: picks up), short enough that a healthy peer grinding a long job does
+#: not pin the drainer forever.
+DRAIN_LEASE_WAIT_FACTOR = 2.0
+
+
+def _peer_claims(queue: BrokerQueue) -> bool:
+    """Does any claim file exist? (An idle caller holds none itself.)"""
+    try:
+        return any(name.endswith(".json") for name in os.listdir(queue.claimed))
+    except OSError:
+        return False
+
 
 def run_worker(
     cache_dir: str | os.PathLike,
@@ -837,8 +920,13 @@ def run_worker(
     ``drain`` exits once the queue has stayed empty for ``max_idle``
     seconds (default 10 — long enough to survive the gap between worker
     start-up and the coordinator's enqueue); without ``drain`` the worker
-    runs until ``max_idle`` (if given) or until killed. Returns the number
-    of jobs this worker completed.
+    runs until ``max_idle`` (if given) or until killed. "Empty" means no
+    *runnable* work anywhere: while another worker still holds a claim,
+    a draining worker's idle allowance stretches to
+    ``DRAIN_LEASE_WAIT_FACTOR`` leases — if that peer crashed, its lease
+    expires within one lease period and this worker recovers and runs
+    the job instead of exiting with work stranded. Returns the number of
+    jobs this worker completed.
     """
     from ..workloads.workload import configure_trace_store
 
@@ -867,7 +955,15 @@ def run_worker(
             now = time.time()
             if idle_since is None:
                 idle_since = now
-            if max_idle is not None and now - idle_since >= max_idle:
+            idle_limit = max_idle
+            if drain and idle_limit is not None and _peer_claims(queue):
+                # Jobs leased by peers are not "queue empty": wait for
+                # the lease verdict (completion or expiry-and-recovery)
+                # before concluding there is nothing left to drain.
+                idle_limit = max(
+                    idle_limit, DRAIN_LEASE_WAIT_FACTOR * queue.lease_seconds
+                )
+            if idle_limit is not None and now - idle_since >= idle_limit:
                 break
             time.sleep(poll_seconds)
             continue

@@ -400,3 +400,139 @@ class TestRunWorker:
         warm = ExperimentRuntime(cache_dir=tmp_path)
         warm.run_many(jobs)
         assert warm.executed == 0
+
+
+# ---------------------------------------------------------------------------
+# Requeue-aware wait telemetry (retry-inflated queue_wait_s regression)
+# ---------------------------------------------------------------------------
+
+
+class TestQueueWaitTelemetry:
+    def _age_enqueue(self, queue: BrokerQueue, seconds: float) -> None:
+        """Make the one pending spec look ``seconds`` old (spec + file)."""
+        import json
+
+        path = next(queue.pending.glob("*.json"))
+        spec = json.loads(path.read_text())
+        spec["enqueued_at"] -= seconds
+        path.write_text(json.dumps(spec))
+        _backdate(path, seconds=seconds)
+
+    def test_first_attempt_wait_measures_from_enqueue(self, tmp_path):
+        from repro.runtime import execute_job
+
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        job = _jobs(make_config("none"))[0]
+        queue.enqueue(job)
+        self._age_enqueue(queue, 100.0)
+        claimed = queue.claim("w1")
+        record = queue.complete(claimed, execute_job(job), "w1", run_seconds=0.1)
+        assert record["queue_wait_s"] > 90.0  # it genuinely waited
+        assert record["age_s"] >= record["queue_wait_s"]
+
+    def test_forced_retry_does_not_inflate_queue_wait(self, tmp_path):
+        """Before the fix a retried job's queue_wait_s was measured from
+        the *original* enqueued_at, silently absorbing the failed
+        attempt's run time; it must measure from the requeue instead,
+        with age_s keeping the end-to-end view."""
+        from repro.runtime import execute_job
+
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        job = _jobs(make_config("none"))[0]
+        queue.enqueue(job)
+        self._age_enqueue(queue, 100.0)
+        claimed = queue.claim("w1")
+        assert claimed is not None
+        assert queue.fail(claimed, "injected failure") is True  # requeue
+        retried = queue.claim("w1")
+        assert retried is not None and retried.attempts == 1
+        assert retried.spec["requeued_at"] > retried.spec["enqueued_at"]
+        record = queue.complete(retried, execute_job(job), "w1", run_seconds=0.1)
+        assert record["attempts"] == 2
+        assert record["queue_wait_s"] < 10.0  # waits from the requeue only
+        assert record["age_s"] > 90.0  # end-to-end age keeps the history
+
+    def test_lease_recovery_requeue_resets_the_wait_clock(self, tmp_path):
+        """The crash-recovery path requeues by pure rename (no spec
+        rewrite possible); the recovery touch must still reset the
+        claimer's runnable_at so queue_wait_s excludes the dead worker's
+        lease window."""
+        from repro.runtime import execute_job
+
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        job = _jobs(make_config("none"))[0]
+        queue.enqueue(job)
+        self._age_enqueue(queue, 100.0)
+        claimed = queue.claim("w-dead")
+        _backdate(claimed.path, seconds=100)  # the claimer crashed
+        assert queue.recover_expired() == 1
+        rescued = queue.claim("w-rescue")
+        assert rescued is not None and rescued.attempts == 1
+        record = queue.complete(rescued, execute_job(job), "w-rescue", 0.1)
+        assert record["queue_wait_s"] < 10.0
+        assert record["age_s"] > 90.0
+
+
+# ---------------------------------------------------------------------------
+# Stale-schema claimed specs (resubmission-poisoning regression)
+# ---------------------------------------------------------------------------
+
+
+class TestStaleClaimedSpecs:
+    def _plant_stale_claim(self, queue: BrokerQueue, job, age: float):
+        """A claimed spec written by an old-schema worker that crashed."""
+        import json
+
+        queue.enqueue(job)
+        claimed = queue.claim("w-old")
+        spec = dict(claimed.spec)
+        spec["engine_schema"] = "engine-v0-000000000000"
+        claimed.path.write_text(json.dumps(spec))
+        _backdate(claimed.path, seconds=age)
+        return claimed
+
+    def test_expired_stale_claim_is_purged_on_enqueue(self, tmp_path):
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        job = _jobs(make_config("none"))[0]
+        self._plant_stale_claim(queue, job, age=60)
+        queue.enqueue(job)  # must purge the dead claim and write fresh
+        counts = queue.counts()
+        assert counts == {"pending": 1, "claimed": 0, "done": 0, "failed": 0}
+
+    def test_live_stale_claim_is_not_robbed(self, tmp_path):
+        """Only an *expired* stale-schema claim may be purged — a live
+        old-schema worker still owns its lease (it will terminal-fail the
+        job itself, but robbing a live claim is never safe)."""
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        job = _jobs(make_config("none"))[0]
+        self._plant_stale_claim(queue, job, age=0)
+        queue.enqueue(job)
+        counts = queue.counts()
+        assert counts == {"pending": 0, "claimed": 1, "done": 0, "failed": 0}
+
+    def test_recover_expired_deletes_stale_claim_instead_of_requeueing(
+        self, tmp_path
+    ):
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        job = _jobs(make_config("none"))[0]
+        self._plant_stale_claim(queue, job, age=60)
+        assert queue.recover_expired() == 1
+        # Deleted, not requeued: its claimer could only terminal-fail it.
+        counts = queue.counts()
+        assert counts == {"pending": 0, "claimed": 0, "done": 0, "failed": 0}
+
+    def test_fresh_batch_completes_over_a_dead_old_schema_claim(self, tmp_path):
+        """Before the fix: the stale claim blocked the fresh enqueue, got
+        lease-recovered, terminal-failed on the schema check, and the
+        coordinator raised BrokerError for a job it could simply have
+        resubmitted. The fresh batch must now just complete."""
+        queue = BrokerQueue(tmp_path, lease_seconds=30)
+        job = _jobs(make_config("none"))[0]
+        self._plant_stale_claim(queue, job, age=60)
+        backend = BrokerBackend(tmp_path, lease_seconds=30, timeout=60)
+        results = backend.run_batch([job])
+        assert len(results) == 1 and results[0].raw["cycles"] > 0
+        record = queue.read_done(queue.job_id(job))
+        assert record is not None
+        assert record["attempts"] == 1  # the dead claim's attempt is gone
+        assert queue.counts()["failed"] == 0

@@ -153,6 +153,78 @@ class TestWorkerKilledMidLease:
         ) == [1, 1, 2]
 
 
+class TestDrainWaitsOutPeerLeases:
+    def test_drain_worker_outlives_a_dead_peers_lease(self, tmp_path):
+        """A draining worker whose max_idle is shorter than the lease must
+        not exit while a crashed peer still holds a claim: the lease will
+        expire, the job requeue, and this worker must be the one to run
+        it. Before the fix the idle clock conflated "queue empty" with
+        "all jobs leased by peers" and the last drain worker exited with
+        the job stranded in claimed/."""
+        queue = BrokerQueue(tmp_path, lease_seconds=3)
+        job = _job()
+        job_id = queue.enqueue(job)
+        victim = faultinject.spawn_worker(
+            tmp_path,
+            worker_id="fi-victim",
+            faultpoints="worker-claimed:1",
+            lease_seconds=3,
+        )
+        assert faultinject.wait_exit(victim) == KILLED
+        assert queue.counts()["claimed"] == 1
+        rescuer = faultinject.spawn_worker(
+            tmp_path,
+            worker_id="fi-rescuer",
+            drain=True,
+            max_idle=1,  # far shorter than the 3 s lease
+            lease_seconds=3,
+        )
+        assert faultinject.wait_exit(rescuer) == 0
+        record = queue.read_done(job_id)
+        assert record is not None
+        assert record["worker"] == "fi-rescuer"
+        assert record["attempts"] == 2  # the victim's claim counted
+        assert queue.counts() == {"pending": 0, "claimed": 0, "done": 1, "failed": 0}
+
+    def test_drain_exit_is_capped_when_a_live_peer_grinds_on(self, tmp_path):
+        """The lease-wait extension is bounded: with a healthy peer
+        heartbeating its claim forever, a draining worker still exits
+        after DRAIN_LEASE_WAIT_FACTOR leases instead of pinning."""
+        from repro.runtime.broker import DRAIN_LEASE_WAIT_FACTOR
+
+        queue = BrokerQueue(tmp_path, lease_seconds=0.4)
+        queue.enqueue(_job())
+        claimed = queue.claim("fi-peer")  # a peer holds this, "alive"
+        stop = False
+
+        def _beat():
+            while not stop:
+                queue.heartbeat(claimed)
+                time.sleep(0.05)
+
+        import threading
+
+        beater = threading.Thread(target=_beat, daemon=True)
+        beater.start()
+        started = time.time()
+        completed = run_worker(
+            tmp_path,
+            worker_id="fi-drain",
+            drain=True,
+            max_idle=0.2,
+            poll_seconds=0.05,
+            lease_seconds=0.4,
+        )
+        elapsed = time.time() - started
+        stop = True
+        beater.join()
+        assert completed == 0
+        # Waited past plain max_idle, but no longer than the cap (plus
+        # generous scheduling slack).
+        assert elapsed >= DRAIN_LEASE_WAIT_FACTOR * 0.4 - 0.05
+        assert elapsed < 30
+
+
 # ---------------------------------------------------------------------------
 # Compactor crashes mid-shard-write
 # ---------------------------------------------------------------------------

@@ -1,0 +1,577 @@
+"""Supervised service mode: options, scaling policy, fleet, progress, ETA.
+
+Fleet-lifecycle tests drive a real :class:`Supervisor` over *stub* worker
+commands (sleep/exit/crash one-liners) so spawn/reap/restart mechanics run
+against actual subprocesses without paying for engine imports; the
+bit-identity test at the bottom runs the real ``python -m repro.runtime
+worker`` fleet against real jobs and compares its merged results
+bit-for-bit with a hand-run worker's.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import pytest
+
+import faultinject
+from repro.core.mechanisms import make_config
+from repro.errors import ConfigError
+from repro.runtime import SimJob
+from repro.runtime.broker import BrokerQueue, run_worker
+from repro.runtime.cache import SCHEMA_TAG
+from repro.runtime.supervisor import (
+    BACKOFF_CAP_SECONDS,
+    CELL_STATES,
+    STATUS_SCHEMA,
+    SUPERVISOR_SCHEMA,
+    Supervisor,
+    build_status,
+    cell_job_id,
+    desired_workers,
+    latest_manifest,
+    render_status,
+    supervisor_options,
+    sweep_progress,
+)
+from repro.runtime.atomicio import atomic_write_json
+from repro.workloads.workload import reset_trace_store
+
+WL = "streaming"
+SCALE = 0.05
+
+#: Stub fleet members: lifecycle without engine imports.
+SLEEPER = [sys.executable, "-c", "import time; time.sleep(60)"]
+CRASHER = [sys.executable, "-c", "import sys; sys.exit(3)"]
+QUITTER = [sys.executable, "-c", "pass"]
+
+
+@pytest.fixture(autouse=True)
+def _restore_trace_store():
+    """In-process run_worker pins the trace store; undo it per test."""
+    yield
+    reset_trace_store()
+
+
+def _job(llc: int | None = None) -> SimJob:
+    cfg = make_config("none")
+    if llc is not None:
+        cfg = cfg.with_llc_latency(llc)
+    return SimJob(WL, cfg, SCALE)
+
+
+def _plant_pending(queue: BrokerQueue, n: int, cost: int = 100) -> None:
+    """Fake backlog files — the scaling policy only reads filenames."""
+    queue.pending.mkdir(parents=True, exist_ok=True)
+    for i in range(n):
+        name = f"fake{i}__s1__{i:016x}__w{cost}__a0.json"
+        (queue.pending / name).write_text("{}")
+
+
+def _supervisor(tmp_path, command, **opts) -> Supervisor:
+    options = supervisor_options(**opts)
+    return Supervisor(tmp_path, options, worker_command=command)
+
+
+# ---------------------------------------------------------------------------
+# Option resolution
+# ---------------------------------------------------------------------------
+
+
+class TestSupervisorOptions:
+    def test_defaults(self):
+        opts = supervisor_options()
+        assert opts.min_workers == 0
+        assert opts.max_workers == 4
+        assert opts.cooldown_seconds == 2.0
+        assert opts.backoff_seconds == 1.0
+        assert opts.worker_idle_seconds == 10.0
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUPERVISOR_MIN", "1")
+        monkeypatch.setenv("REPRO_SUPERVISOR_MAX", "8")
+        monkeypatch.setenv("REPRO_SUPERVISOR_COOLDOWN", "0.5")
+        monkeypatch.setenv("REPRO_SUPERVISOR_BACKOFF", "2.5")
+        monkeypatch.setenv("REPRO_SUPERVISOR_IDLE", "3.5")
+        opts = supervisor_options()
+        assert opts.min_workers == 1
+        assert opts.max_workers == 8
+        assert opts.cooldown_seconds == 0.5
+        assert opts.backoff_seconds == 2.5
+        assert opts.worker_idle_seconds == 3.5
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUPERVISOR_MAX", "8")
+        monkeypatch.setenv("REPRO_SUPERVISOR_COOLDOWN", "9")
+        opts = supervisor_options(max_workers=2, cooldown_seconds=0.0)
+        assert opts.max_workers == 2
+        assert opts.cooldown_seconds == 0.0
+
+    def test_explicit_zero_cooldown_from_env_survives(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUPERVISOR_COOLDOWN", "0")
+        assert supervisor_options().cooldown_seconds == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_workers": -1},
+            {"max_workers": 0},
+            {"min_workers": 5, "max_workers": 2},
+            {"worker_idle_seconds": 0.0},
+            {"cooldown_seconds": -1.0},
+            {"backoff_seconds": -0.1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            supervisor_options(**kwargs)
+
+    def test_malformed_env_value_is_a_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUPERVISOR_MAX", "lots")
+        with pytest.raises(ConfigError) as err:
+            supervisor_options()
+        assert "REPRO_SUPERVISOR_MAX" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# Scaling policy
+# ---------------------------------------------------------------------------
+
+
+class TestScalingPolicy:
+    def test_empty_backlog_sits_at_the_floor(self):
+        assert desired_workers([], supervisor_options()) == 0
+        assert desired_workers([], supervisor_options(min_workers=2)) == 2
+
+    def test_one_giant_job_caps_useful_parallelism(self):
+        # Longest-first: the giant IS the critical path; the three tiny
+        # jobs fit into one extra worker's time many times over.
+        opts = supervisor_options(max_workers=8)
+        assert desired_workers([1000, 1, 1, 1], opts) == 2
+
+    def test_uniform_backlog_wants_one_worker_per_job(self):
+        opts = supervisor_options(max_workers=8)
+        assert desired_workers([10] * 6, opts) == 6
+
+    def test_ceiling_clamps(self):
+        opts = supervisor_options(max_workers=4)
+        assert desired_workers([10] * 100, opts) == 4
+
+    def test_unknown_costs_fall_back_to_backlog_size(self):
+        opts = supervisor_options(max_workers=8)
+        assert desired_workers([None, None, None], opts) == 3
+
+    def test_unknown_costs_billed_as_longest(self):
+        # One known cost 100 + one unknown (assumed 100): total 200,
+        # longest 100 -> two workers.
+        opts = supervisor_options(max_workers=8)
+        assert desired_workers([100, None], opts) == 2
+
+    def test_floor_beats_backlog(self):
+        opts = supervisor_options(min_workers=3, max_workers=8)
+        assert desired_workers([10], opts) == 3
+
+
+# ---------------------------------------------------------------------------
+# Fleet lifecycle (real subprocesses, stub commands)
+# ---------------------------------------------------------------------------
+
+
+class TestFleetLifecycle:
+    def test_scales_up_to_the_backlog_and_stops_clean(self, tmp_path):
+        sup = _supervisor(
+            tmp_path, SLEEPER, max_workers=3, cooldown_seconds=0.0
+        )
+        _plant_pending(sup.queue, 3)
+        sup.tick()
+        try:
+            assert sup.live == 3
+            assert sup.spawned == 3
+            assert sup.peak_live == 3
+            state = json.loads(sup.state_path.read_text())
+            assert state["schema"] == SUPERVISOR_SCHEMA
+            assert state["live"] == 3
+            assert len(state["workers"]) == 3
+            assert [e["event"] for e in state["timeline"]].count("spawn") == 3
+        finally:
+            sup.stop()
+        assert sup.live == 0
+        assert sup.crashes == 0  # terminated workers are not crashes
+        state = json.loads(sup.state_path.read_text())
+        assert state["live"] == 0
+
+    def test_cooldown_gates_successive_spawn_rounds(self, tmp_path):
+        sup = _supervisor(
+            tmp_path, SLEEPER, max_workers=4, cooldown_seconds=60.0
+        )
+        _plant_pending(sup.queue, 1)
+        sup.tick()
+        try:
+            assert sup.live == 1
+            _plant_pending(sup.queue, 4)
+            sup.tick()  # desired is now 4+, but the cooldown gate holds
+            assert sup.live == 1
+        finally:
+            sup.stop()
+
+    def test_clean_exit_is_a_retirement_not_a_crash(self, tmp_path):
+        sup = _supervisor(
+            tmp_path, QUITTER, max_workers=1, cooldown_seconds=60.0
+        )
+        _plant_pending(sup.queue, 1)
+        sup.tick()
+        faultinject.wait_for(
+            lambda: sup.workers[0].proc.poll() is not None,
+            message="stub worker exit",
+        )
+        sup.tick()
+        assert sup.live == 0
+        assert sup.retired == 1
+        assert sup.crashes == 0
+
+    def test_crash_restart_waits_out_a_doubling_backoff(self, tmp_path):
+        sup = _supervisor(
+            tmp_path,
+            CRASHER,
+            max_workers=1,
+            cooldown_seconds=0.0,
+            backoff_seconds=60.0,
+        )
+        _plant_pending(sup.queue, 1)
+        sup.tick()
+        assert sup.spawned == 1
+        faultinject.wait_for(
+            lambda: sup.workers[0].proc.poll() is not None,
+            message="stub crash",
+        )
+        sup.tick()
+        assert sup.crashes == 1
+        assert sup.live == 0
+        # The backlog still demands a worker, but the backoff gate holds.
+        sup.tick()
+        assert sup.spawned == 1
+        # Releasing the gate restarts the worker: crash-restart is just
+        # scale-up seeing the still-pending job once the backoff expires.
+        sup._next_spawn_at = 0.0
+        sup.tick()
+        assert sup.spawned == 2
+        faultinject.wait_for(
+            lambda: not sup.workers or sup.workers[0].proc.poll() is not None,
+            message="second stub crash",
+        )
+        sup.tick()
+        assert sup.crashes == 2
+        backoffs = [
+            e["backoff_s"]
+            for e in sup.timeline
+            if e["event"] == "crash"
+        ]
+        assert backoffs == [
+            min(BACKOFF_CAP_SECONDS, 60.0),
+            min(BACKOFF_CAP_SECONDS, 120.0),
+        ]
+
+    def test_floor_workers_are_persistent(self, tmp_path):
+        sup = _supervisor(
+            tmp_path,
+            SLEEPER,
+            min_workers=1,
+            max_workers=2,
+            cooldown_seconds=0.0,
+        )
+        sup.tick()  # empty queue: the floor alone brings up one worker
+        try:
+            assert sup.live == 1
+            assert sup.workers[0].persistent
+            _plant_pending(sup.queue, 2)
+            sup.tick()
+            assert sup.live == 2
+            assert not sup.workers[1].persistent
+            sup.stop(persistent_only=True)
+            assert sup.live == 1
+            assert not sup.workers[0].persistent
+        finally:
+            sup.stop()
+
+
+# ---------------------------------------------------------------------------
+# Sweep progress + ETA
+# ---------------------------------------------------------------------------
+
+
+def _write_manifest(cache_dir):
+    from repro.experiments.sweeps import get_sweep
+    from repro.experiments.sweeps.manifest import write_manifest
+
+    return write_manifest(cache_dir, get_sweep("smoke"), "quick", "paper")
+
+
+def _fake_done(queue: BrokerQueue, job_id: str, run_s: float = 2.0) -> None:
+    atomic_write_json(
+        queue.done / f"{job_id}.json",
+        {
+            "schema": "broker-v3",
+            "engine_schema": SCHEMA_TAG,
+            "job_id": job_id,
+            "worker": "fake-worker",
+            "attempts": 1,
+            "queue_wait_s": 0.0,
+            "age_s": 0.0,
+            "run_s": run_s,
+            "completed_at": time.time(),
+            "result": {},
+        },
+    )
+
+
+class TestSweepProgress:
+    def test_cell_job_ids_match_the_broker_grammar(self, tmp_path):
+        manifest = _write_manifest(tmp_path)
+        cell = manifest.cells[0]
+        assert cell_job_id(cell) == BrokerQueue.job_id(cell.job())
+
+    def test_cell_states_join_queue_and_cache(self, tmp_path):
+        manifest = _write_manifest(tmp_path)
+        queue = BrokerQueue(tmp_path)
+        total = len(manifest.cells)
+
+        progress = sweep_progress(tmp_path, manifest)
+        assert progress["counts"]["unsubmitted"] == total
+        assert progress["eta_s"] is None  # no telemetry yet — honest
+        assert progress["remaining_cost"] > 0
+
+        tracked = cell_job_id(manifest.cells[0])
+        seen = [self._state_of(progress, tracked)]
+
+        queue.enqueue(manifest.cells[0].job())
+        progress = sweep_progress(tmp_path, manifest)
+        assert progress["counts"]["pending"] == 1
+        assert progress["counts"]["unsubmitted"] == total - 1
+        seen.append(self._state_of(progress, tracked))
+
+        claimed = queue.claim("t")
+        assert claimed is not None and claimed.job_id == tracked
+        progress = sweep_progress(tmp_path, manifest)
+        assert progress["counts"]["claimed"] == 1
+        row = next(
+            c for c in progress["cell_states"] if c["job_id"] == tracked
+        )
+        assert row["lease_age_s"] is not None and row["lease_age_s"] >= 0
+        seen.append(self._state_of(progress, tracked))
+
+        claimed.path.unlink()
+        _fake_done(queue, tracked, run_s=2.0)
+        progress = sweep_progress(tmp_path, manifest)
+        assert progress["counts"]["done"] == 1
+        seen.append(self._state_of(progress, tracked))
+
+        # Monotonic: the tracked cell only ever moved rightward.
+        indices = [CELL_STATES.index(s) for s in seen]
+        assert indices == sorted(indices)
+
+    @staticmethod
+    def _state_of(progress, job_id: str) -> str:
+        return next(
+            c["state"] for c in progress["cell_states"] if c["job_id"] == job_id
+        )
+
+    def test_eta_calibrates_from_run_telemetry(self, tmp_path):
+        manifest = _write_manifest(tmp_path)
+        queue = BrokerQueue(tmp_path)
+        queue._ensure_dirs()
+        done = manifest.cells[0]
+        _fake_done(queue, cell_job_id(done), run_s=3.0)
+        progress = sweep_progress(tmp_path, manifest, active_workers=2)
+        spc = progress["secs_per_cost"]
+        assert spc is not None and spc > 0
+        assert progress["eta_s"] == pytest.approx(
+            progress["remaining_cost"] * spc / 2, rel=1e-6
+        )
+
+    def test_eta_is_zero_when_nothing_is_runnable(self, tmp_path):
+        manifest = _write_manifest(tmp_path)
+        queue = BrokerQueue(tmp_path)
+        queue._ensure_dirs()
+        for cell in manifest.cells:
+            _fake_done(queue, cell_job_id(cell))
+        progress = sweep_progress(tmp_path, manifest)
+        assert progress["counts"]["done"] == len(manifest.cells)
+        assert progress["eta_s"] == 0.0
+
+    def test_terminal_failures_read_as_failed(self, tmp_path):
+        manifest = _write_manifest(tmp_path)
+        queue = BrokerQueue(tmp_path)
+        queue._ensure_dirs()
+        job_id = cell_job_id(manifest.cells[0])
+        queue._fail_terminal(job_id, 3, "boom")
+        progress = sweep_progress(tmp_path, manifest)
+        assert progress["counts"]["failed"] == 1
+        row = next(
+            c for c in progress["cell_states"] if c["job_id"] == job_id
+        )
+        assert row["attempts"] == 3
+
+    def test_latest_manifest_picks_the_newest(self, tmp_path):
+        assert latest_manifest(tmp_path) is None
+        manifest = _write_manifest(tmp_path)
+        found = latest_manifest(tmp_path)
+        assert found is not None
+        assert found.spec_digest == manifest.spec_digest
+
+
+# ---------------------------------------------------------------------------
+# Status snapshot + rendering
+# ---------------------------------------------------------------------------
+
+
+class TestStatus:
+    def test_empty_cache_dir_snapshot(self, tmp_path):
+        status = build_status(tmp_path)
+        assert status["schema"] == STATUS_SCHEMA
+        assert status["queue"] == {
+            "pending": 0,
+            "claimed": 0,
+            "done": 0,
+            "failed": 0,
+        }
+        assert status["workers"] == {}
+        assert status["claims"] == []
+        assert status["supervisor"] is None
+        assert status["sweep"] is None
+        json.dumps(status)  # --json must always serialize
+
+    def test_snapshot_aggregates_workers_and_sweep(self, tmp_path):
+        manifest = _write_manifest(tmp_path)
+        queue = BrokerQueue(tmp_path)
+        queue._ensure_dirs()
+        for cell in manifest.cells[:2]:
+            _fake_done(queue, cell_job_id(cell), run_s=1.5)
+        sup = Supervisor(tmp_path, supervisor_options())
+        sup.write_state()
+        status = build_status(tmp_path)
+        assert status["workers"]["fake-worker"]["jobs"] == 2
+        assert status["workers"]["fake-worker"]["run_s"] == pytest.approx(3.0)
+        assert status["supervisor"]["schema"] == SUPERVISOR_SCHEMA
+        assert status["sweep"]["counts"]["done"] == 2
+        json.dumps(status)
+
+    def test_render_is_pure_text(self, tmp_path):
+        manifest = _write_manifest(tmp_path)
+        queue = BrokerQueue(tmp_path)
+        queue._ensure_dirs()
+        _fake_done(queue, cell_job_id(manifest.cells[0]))
+        text = render_status(build_status(tmp_path))
+        assert "repro service status" in text
+        assert "fake-worker" in text
+        assert "sweep       smoke @ quick" in text
+        assert "\x1b" not in text  # escapes belong to the watch loop only
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: supervised fleet vs hand-run worker (acceptance)
+# ---------------------------------------------------------------------------
+
+
+def _result_payloads(queue: BrokerQueue) -> dict[str, str]:
+    """job id → canonical JSON of the result payload (telemetry excluded)."""
+    payloads = {}
+    for path in sorted(queue.done.glob("*.json")):
+        record = json.loads(path.read_text())
+        payload = record.get("results", record.get("result"))
+        payloads[record["job_id"]] = json.dumps(payload, sort_keys=True)
+    return payloads
+
+
+class TestBitIdentity:
+    def test_supervised_fleet_matches_hand_run_worker(self, tmp_path):
+        jobs = [_job(llc) for llc in (20, 40, 60, 80)]
+
+        # Hand-run: one worker drained in-process, the PR-4 way.
+        hand_dir = tmp_path / "hand"
+        hand_queue = BrokerQueue(hand_dir)
+        for job in jobs:
+            hand_queue.enqueue(job)
+        run_worker(hand_dir, worker_id="hand", drain=True, max_idle=0.2)
+        reset_trace_store()
+
+        # Supervised: a real autoscaled subprocess fleet.
+        serve_dir = tmp_path / "served"
+        options = supervisor_options(
+            max_workers=2, cooldown_seconds=0.0, worker_idle_seconds=0.5
+        )
+        sup = Supervisor(
+            serve_dir, options, env=faultinject._subprocess_env()
+        )
+        for job in jobs:
+            sup.queue.enqueue(job)
+        try:
+            faultinject.wait_for(
+                lambda: (sup.tick() or True)
+                and sup.queue.counts()["done"] == len(jobs),
+                timeout=120.0,
+                interval=0.2,
+                message="supervised fleet to drain the queue",
+            )
+            assert sup.peak_live >= 2  # uniform backlog autoscaled up
+            # Surge workers retire themselves: scale-down to zero.
+            faultinject.wait_for(
+                lambda: (sup.tick(scale_up=False) or True) and sup.live == 0,
+                timeout=60.0,
+                interval=0.2,
+                message="fleet wind-down",
+            )
+        finally:
+            sup.stop()
+        assert sup.crashes == 0
+
+        hand = _result_payloads(hand_queue)
+        served = _result_payloads(sup.queue)
+        assert set(hand) == set(served)
+        assert hand == served  # bit-identical merged results
+
+        # The done-record telemetry names only supervised worker ids.
+        for path in sup.queue.done.glob("*.json"):
+            assert json.loads(path.read_text())["worker"].startswith("sv")
+
+
+class TestServeEndToEnd:
+    def test_serve_runs_a_sweep_and_winds_the_fleet_down(self, tmp_path):
+        from repro.experiments.sweeps import get_sweep
+        from repro.runtime.supervisor import serve_sweep
+
+        options = supervisor_options(
+            max_workers=4, cooldown_seconds=0.0, worker_idle_seconds=1.0
+        )
+        rc = serve_sweep(
+            "smoke",
+            tmp_path,
+            scale="quick",
+            options=options,
+            env=faultinject._subprocess_env(),
+        )
+        assert rc == 0
+
+        queue = BrokerQueue(tmp_path)
+        counts = queue.counts()
+        total = len(
+            sweep_progress(
+                tmp_path, latest_manifest(tmp_path)
+            )["cell_states"]
+        )
+        assert counts["done"] == total > 0
+        assert counts["pending"] == 0
+        assert counts["claimed"] == 0
+        assert counts["failed"] == 0
+
+        state = json.loads((queue.root / "supervisor.json").read_text())
+        assert state["peak_live"] >= 2  # the backlog autoscaled the fleet up
+        assert state["live"] == 0  # ...and serve wound it back down
+        assert state["crashes"] == 0
+
+        # Every cell the manifest names reads as done in the final status.
+        get_sweep("smoke")  # sanity: the sweep exists under this name
+        status = build_status(tmp_path)
+        assert status["sweep"]["counts"]["done"] == total
+        assert status["sweep"]["eta_s"] == 0.0
